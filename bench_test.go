@@ -1,0 +1,320 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (see the per-experiment index in
+// DESIGN.md), plus ablation benchmarks for the design choices the cost
+// model rests on. Custom metrics carry the headline quantities so the
+// shape of each result is visible in the benchmark output:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/hlsbase"
+	"repro/internal/kernels"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/pipesim"
+	"repro/internal/tir"
+)
+
+// BenchmarkFig9ResourceCurves regenerates the Fig 9 resource cost
+// curves: the quadratic divider fit from three synthesis points and the
+// piece-wise-linear multiplier behaviour. Metrics: the 24-bit
+// interpolation check (paper: estimate 654 vs actual 652).
+func BenchmarkFig9ResourceCurves(b *testing.B) {
+	var r *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig9(device.StratixVGSD8())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Check24Est), "est24_ALUTs")
+	b.ReportMetric(float64(r.Check24Actual), "actual24_ALUTs")
+}
+
+// BenchmarkFig10StreamBandwidth regenerates the Fig 10 sustained
+// bandwidth table on the Virtex-7 board model. Metrics: the contiguous
+// plateau and the strided floor in Gbps (paper: ~6.3 and ~0.07), whose
+// ratio is the two-orders-of-magnitude contiguity penalty.
+func BenchmarkFig10StreamBandwidth(b *testing.B) {
+	var r *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig10(device.Virtex7690T())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var plateau, floor float64
+	for _, s := range r.Samples {
+		if s.Dim == 6000 {
+			if s.Pattern == tir.PatternContiguous {
+				plateau = s.Gbps()
+			} else {
+				floor = s.Gbps()
+			}
+		}
+	}
+	b.ReportMetric(plateau, "contig_Gbps")
+	b.ReportMetric(floor, "strided_Gbps")
+}
+
+// BenchmarkFig15VariantSweep regenerates the Fig 15 SOR lane sweep under
+// forms A and B. Metrics: the three wall positions (paper: host ~4,
+// compute 6, DRAM ~16).
+func BenchmarkFig15VariantSweep(b *testing.B) {
+	var r *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.A.HostWall), "host_wall_lanes")
+	b.ReportMetric(float64(r.A.ComputeWall), "compute_wall_lanes")
+	b.ReportMetric(float64(r.B.DRAMWall), "dram_wall_lanes")
+}
+
+// BenchmarkTable2Accuracy regenerates Table II at the paper-scale
+// workloads: estimate, synthesise and simulate all three kernels.
+// Metric: the worst percent error across all fifteen cells (paper: 13%,
+// mostly low single digits).
+func BenchmarkTable2Accuracy(b *testing.B) {
+	var r *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Table2(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, row := range r.Rows {
+		for _, e := range row.Errs() {
+			if e > worst {
+				worst = e
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_pct_err")
+}
+
+// BenchmarkFig17CaseStudyRuntime regenerates the Fig 17 runtime
+// comparison. Metrics: tytra's best speedups over maxJ and cpu (paper:
+// 3.9x and ~2.6x).
+func BenchmarkFig17CaseStudyRuntime(b *testing.B) {
+	var r *experiments.CaseStudyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.CaseStudy(nil, 1000)
+	}
+	bestVsMaxJ, bestVsCPU := 0.0, 0.0
+	for _, row := range r.Rows {
+		if v := row.Normalised[hlsbase.PlatformMaxJ] / row.Normalised[hlsbase.PlatformTytra]; v > bestVsMaxJ {
+			bestVsMaxJ = v
+		}
+		if v := 1 / row.Normalised[hlsbase.PlatformTytra]; v > bestVsCPU {
+			bestVsCPU = v
+		}
+	}
+	b.ReportMetric(bestVsMaxJ, "tytra_vs_maxJ_x")
+	b.ReportMetric(bestVsCPU, "tytra_vs_cpu_x")
+}
+
+// BenchmarkFig18CaseStudyEnergy regenerates the Fig 18 energy
+// comparison. Metrics: tytra's best energy advantages (paper: up to 11x
+// vs cpu, 2.9x vs maxJ).
+func BenchmarkFig18CaseStudyEnergy(b *testing.B) {
+	var r *experiments.CaseStudyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.CaseStudy(nil, 1000)
+	}
+	bestVsCPU, bestVsMaxJ := 0.0, 0.0
+	for _, row := range r.Rows {
+		if v := 1 / row.EnergyNorm[hlsbase.PlatformTytra]; v > bestVsCPU {
+			bestVsCPU = v
+		}
+		if v := row.EnergyNorm[hlsbase.PlatformMaxJ] / row.EnergyNorm[hlsbase.PlatformTytra]; v > bestVsMaxJ {
+			bestVsMaxJ = v
+		}
+	}
+	b.ReportMetric(bestVsCPU, "energy_vs_cpu_x")
+	b.ReportMetric(bestVsMaxJ, "energy_vs_maxJ_x")
+}
+
+// BenchmarkEstimatorSpeed measures the §VI-A claim directly: the time to
+// cost one design variant (paper's Perl prototype: 0.3 s; SDAccel's
+// preliminary estimate: ~70 s). ns/op here IS the per-variant latency.
+func BenchmarkEstimatorSpeed(b *testing.B) {
+	mdl, err := costmodel.Calibrate(device.StratixVGSD8())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := kernels.SORSpec{IM: 15, JM: 10, KM: 96096, Lanes: 4}.Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdl.Estimate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorEndToEnd includes variant construction (the lowering
+// a DSE loop pays per point).
+func BenchmarkEstimatorEndToEnd(b *testing.B) {
+	mdl, err := costmodel.Calibrate(device.StratixVGSD8())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := kernels.SORSpec{IM: 15, JM: 10, KM: 96096, Lanes: 1 + i%16}.Module()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mdl.Estimate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMulFitFamily quantifies the Fig 9 design choice:
+// fitting the multiplier ALUT curve with a single quadratic (wrong
+// family) versus the paper's piece-wise-linear model with pinned
+// discontinuities. Metrics: worst absolute error of each fit across
+// 8..64 bits.
+func BenchmarkAblationMulFitFamily(b *testing.B) {
+	var worstPoly, worstPWL float64
+	for i := 0; i < b.N; i++ {
+		var xs, ys []float64
+		for w := 8; w <= 64; w += 2 {
+			xs = append(xs, float64(w))
+			ys = append(ys, float64(fabric.MulALUTs(w)))
+		}
+		poly, err := costmodel.PolyFit(xs, ys, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pwl, err := costmodel.NewPiecewiseLinear(xs, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstPoly, worstPWL = 0, 0
+		for w := 8; w <= 64; w++ {
+			actual := float64(fabric.MulALUTs(w))
+			if e := math.Abs(poly.Eval(float64(w)) - actual); e > worstPoly {
+				worstPoly = e
+			}
+			if e := math.Abs(pwl.Eval(float64(w)) - actual); e > worstPWL {
+				worstPWL = e
+			}
+		}
+	}
+	b.ReportMetric(worstPoly, "poly_worst_ALUTs")
+	b.ReportMetric(worstPWL, "pwl_worst_ALUTs")
+}
+
+// BenchmarkAblationFillTerms quantifies dropping the offset-priming and
+// pipeline-fill terms from the EKIT expressions: negligible at the
+// paper's large NDRanges, decisive at the small grids where Fig 17's
+// reversal happens. Metric: percent throughput overestimate of the
+// fill-less model at a small grid.
+func BenchmarkAblationFillTerms(b *testing.B) {
+	p := perf.Params{
+		HPB: 3.2e9, RhoH: 0.8, GPB: 38.4e9, RhoG: 0.7,
+		NGS: 24 * 24 * 24, NWPT: 3, NKI: 1000, Noff: 150, KPD: 20,
+		FD: 105e6, NTO: 1, NI: 26, KNL: 4, DV: 1, WordBytes: 3, Pipelined: true,
+	}
+	var overestimate float64
+	for i := 0; i < b.N; i++ {
+		withFills, _, err := p.EKIT(perf.FormB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := p
+		q.Noff = 0
+		q.KPD = 0
+		withoutFills, _, err := q.EKIT(perf.FormB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overestimate = (withoutFills/withFills - 1) * 100
+	}
+	b.ReportMetric(overestimate, "overest_pct")
+}
+
+// BenchmarkAblationSustainedVsPeakBW quantifies replacing the empirical
+// sustained-bandwidth model with the naive peak-bandwidth assumption
+// (rho = 1): the communication walls of Fig 15 move outward and the
+// explorer picks over-replicated designs. Metric: the factor by which
+// the naive model overestimates a strided stream's bandwidth.
+func BenchmarkAblationSustainedVsPeakBW(b *testing.B) {
+	bw, err := membw.Build(device.Virtex7690T())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var factor float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bytes := int64(2000 * 2000 * 4)
+		sustained := bw.SustainedSteady(bytes, tir.PatternStrided)
+		factor = device.Virtex7690T().DRAM.PeakBandwidth / sustained
+	}
+	b.ReportMetric(factor, "peak_overest_x")
+}
+
+// BenchmarkPipelineSimulator prices the "actual" side of Table II: the
+// cycle-accurate simulation of one SOR kernel-instance.
+func BenchmarkPipelineSimulator(b *testing.B) {
+	spec := kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 1}
+	m, err := spec.Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := kernels.BindInputs(spec.MakeInputs(1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runSim(m, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesisSubstrate prices the synthesis substrate the cost
+// model replaces in the DSE loop.
+func BenchmarkSynthesisSubstrate(b *testing.B) {
+	m, err := kernels.DefaultHotspot().Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := fabric.New(device.StratixVGSD8())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Synthesize(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runSim is a thin indirection so the benchmark body stays readable.
+func runSim(m *tir.Module, mem map[string][]int64) (int64, error) {
+	res, err := pipesim.Run(m, mem)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}

@@ -1,0 +1,113 @@
+// Command tytrabench regenerates the paper's tables and figures (the
+// per-experiment index of DESIGN.md):
+//
+//	tytrabench -exp fig9     resource cost curves (Fig 9)
+//	tytrabench -exp fig10    sustained stream bandwidth (Fig 10)
+//	tytrabench -exp fig15    SOR variant sweep with walls (Fig 15)
+//	tytrabench -exp table2   estimated vs actual accuracy (Table II)
+//	tytrabench -exp fig17    case-study runtime (Fig 17)
+//	tytrabench -exp fig18    case-study energy (Fig 18)
+//	tytrabench -exp speed    estimator latency (§VI-A)
+//	tytrabench -exp all      everything, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tytrabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tytrabench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: fig9|fig10|fig15|table2|fig17|fig18|speed|all")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	full := fs.Bool("full", true, "use the paper-scale workloads (slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	emit := func(t interface {
+		String() string
+		CSV() string
+	}) {
+		if *csv {
+			fmt.Fprint(out, t.CSV())
+		} else {
+			fmt.Fprintln(out, t.String())
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig9") {
+		ran = true
+		r, err := experiments.Fig9(device.StratixVGSD8())
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
+	}
+	if want("fig10") {
+		ran = true
+		r, err := experiments.Fig10(device.Virtex7690T())
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
+	}
+	if want("table2") {
+		ran = true
+		r, err := experiments.Table2(*full)
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
+	}
+	if want("fig15") {
+		ran = true
+		r, err := experiments.Fig15()
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
+	}
+	if want("fig17") || want("fig18") {
+		ran = true
+		r := experiments.CaseStudy(nil, 1000)
+		if want("fig17") {
+			emit(r.Fig17Table())
+		}
+		if want("fig18") {
+			emit(r.Fig18Table())
+		}
+	}
+	if want("speed") {
+		ran = true
+		mdl, err := costmodel.Calibrate(device.StratixVGSD8())
+		if err != nil {
+			return err
+		}
+		r, err := experiments.EstimatorSpeed(mdl)
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command tytradse runs the design-space exploration of §VI-A: it
+// generates the lane-count variant family of a built-in kernel (the
+// reshapeTo transformations of §II), costs every variant, and prints the
+// Fig 15-style sweep with the walls and the selected best design.
+//
+// Usage:
+//
+//	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/perf"
+	"repro/internal/report"
+	"repro/internal/roofline"
+	"repro/internal/tir"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tytradse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tytradse", flag.ContinueOnError)
+	kernel := fs.String("kernel", "sor", "kernel family to explore (sor | hotspot | lavamd)")
+	targetName := fs.String("target", "stratix-v-gsd8-edu", "FPGA target (also: stratix-v-gsd8, virtex-7-690t)")
+	maxLanes := fs.Int("maxlanes", 16, "largest lane count to sweep")
+	formName := fs.String("form", "B", "memory-execution form (A | B | C)")
+	nki := fs.Int64("nki", 10, "kernel-instance repetitions")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var target *device.Target
+	if *targetName == "stratix-v-gsd8-edu" || *targetName == "edu" {
+		target = device.GSD8Edu()
+	} else {
+		var err error
+		target, err = device.ByName(*targetName)
+		if err != nil {
+			return err
+		}
+	}
+	form, err := perf.ParseForm(*formName)
+	if err != nil {
+		return err
+	}
+
+	build, ngs, err := variantFamily(*kernel)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "calibrating models for %s...\n", target.Name)
+	c, err := core.New(target)
+	if err != nil {
+		return err
+	}
+
+	lanes := dse.DivisorLaneCounts(ngs, *maxLanes)
+	sw, err := c.Explore(build, lanes, perf.Workload{NKI: *nki}, form)
+	if err != nil {
+		return err
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("%s variant sweep on %s (%s; walls: host=%d dram=%d compute=%d)",
+			*kernel, target.Name, form, sw.HostWall, sw.DRAMWall, sw.ComputeWall),
+		"lanes", "ALUTs", "%ALUT", "%BRAM", "%GMemBW", "%HostBW", "EKIT/s", "fits", "limit")
+	for _, p := range sw.Points {
+		tab.AddRow(p.Lanes, p.Est.Used.ALUTs,
+			p.UtilALUT*100, p.UtilBRAM*100, p.UtilGMemBW*100, p.UtilHostBW*100,
+			p.EKIT, fmt.Sprintf("%v", p.Fits), p.Breakdown.Limiter)
+	}
+	if *csv {
+		fmt.Fprint(out, tab.CSV())
+	} else {
+		fmt.Fprintln(out, tab)
+	}
+	if sw.Best != nil {
+		fmt.Fprintf(out, "best variant: %d lanes (EKIT %.3g/s, limited by %s)\n",
+			sw.Best.Lanes, sw.Best.EKIT, sw.Best.Breakdown.Limiter)
+		if pt, err := roofline.FromParams(sw.Best.Par, form); err == nil {
+			fmt.Fprintf(out, "roofline: %s\n", pt)
+		}
+	} else {
+		fmt.Fprintln(out, "no variant fits the device")
+	}
+	// The feedback path: what to transform next (§I's targeted tuning).
+	fmt.Fprint(out, dse.Advise(sw))
+	return nil
+}
+
+// variantFamily returns the lane-parameterised builder for a kernel and
+// the NDRange size used to pick reshape-legal lane counts.
+func variantFamily(kernel string) (dse.VariantBuilder, int64, error) {
+	switch kernel {
+	case "sor":
+		spec := experiments.Fig15Spec(1)
+		return func(lanes int) (*tir.Module, error) {
+			s := spec
+			s.Lanes = lanes
+			return s.Module()
+		}, spec.GlobalSize(), nil
+	case "hotspot":
+		spec := kernels.HotspotSpec{Rows: 384, Cols: 682, Lanes: 1}
+		return func(lanes int) (*tir.Module, error) {
+			s := spec
+			s.Lanes = lanes
+			return s.Module()
+		}, spec.GlobalSize(), nil
+	case "lavamd":
+		spec := kernels.LavaMDSpec{Pairs: 720720, Lanes: 1}
+		return func(lanes int) (*tir.Module, error) {
+			s := spec
+			s.Lanes = lanes
+			return s.Module()
+		}, spec.GlobalSize(), nil
+	}
+	return nil, 0, fmt.Errorf("unknown kernel %q", kernel)
+}

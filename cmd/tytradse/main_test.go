@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kernel", "sor", "-maxlanes", "8", "-form", "A"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"variant sweep", "lanes", "best variant", "walls"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSweepCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kernel", "lavamd", "-maxlanes", "4", "-csv", "-target", "stratix-v-gsd8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lanes,ALUTs") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{"-kernel", "mystery"},
+		{"-target", "nope"},
+		{"-form", "Z"},
+	}
+	for i, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

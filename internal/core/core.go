@@ -1,0 +1,133 @@
+// Package core is the TyTra back-end compiler façade (Fig 11): one
+// handle that bundles the calibrated resource cost model, the empirical
+// bandwidth model and the target description, and drives the
+// Parse → Validate → Cost → Explore → Emit-HDL pipeline the command-line
+// tools and examples use.
+//
+// Constructing a Compiler performs the one-time per-target work of
+// Fig 2 — the synthesis probe calibration and the STREAM-style bandwidth
+// benchmark; afterwards, costing a design variant is pure arithmetic
+// over its IR, which is what makes the estimator fast enough to sit in a
+// design-space-exploration loop (§VI-A reports 0.3 s per variant for the
+// paper's Perl prototype; this implementation is far below that — see
+// BenchmarkEstimatorSpeed).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/fabric"
+	"repro/internal/hdl"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/pipesim"
+	"repro/internal/tir"
+)
+
+// Compiler carries the per-target models.
+type Compiler struct {
+	Target *device.Target
+	Model  *costmodel.Model
+	BW     *membw.Model
+}
+
+// New calibrates the cost model and builds the bandwidth model for the
+// target: the one-time benchmark experiments of Fig 2.
+func New(target *device.Target) (*Compiler, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
+	mdl, err := costmodel.Calibrate(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: calibrating cost model: %w", err)
+	}
+	bw, err := membw.Build(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: building bandwidth model: %w", err)
+	}
+	return &Compiler{Target: target, Model: mdl, BW: bw}, nil
+}
+
+// NewFromCalibration builds a compiler from an archived bandwidth
+// benchmark table (see membw.SaveTable) instead of re-running the
+// one-time sweep. The resource-model calibration is recomputed — it is
+// microseconds of work — while the bandwidth table, the slow part, is
+// reused.
+func NewFromCalibration(target *device.Target, r io.Reader) (*Compiler, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
+	mdl, err := costmodel.Calibrate(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: calibrating cost model: %w", err)
+	}
+	bw, err := membw.LoadModel(target, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading bandwidth calibration: %w", err)
+	}
+	return &Compiler{Target: target, Model: mdl, BW: bw}, nil
+}
+
+// Parse parses and validates TyTra-IR surface syntax.
+func (c *Compiler) Parse(name, src string) (*tir.Module, error) {
+	return tir.Parse(name, src)
+}
+
+// Report is the full costing of one design variant: the Fig 2 outputs.
+type Report struct {
+	Module    *tir.Module
+	Est       *costmodel.Estimate
+	Params    perf.Params
+	Form      perf.Form
+	EKIT      float64
+	Breakdown perf.Breakdown
+}
+
+// Cost evaluates a design variant: resource estimate, Table I parameter
+// extraction, and the EKIT throughput under the given memory-execution
+// form.
+func (c *Compiler) Cost(m *tir.Module, w perf.Workload, form perf.Form) (*Report, error) {
+	est, err := c.Model.Estimate(m)
+	if err != nil {
+		return nil, err
+	}
+	// Form C is only available when the NDRange fits on chip (§III-5).
+	if form == perf.FormC && !est.FormCFeasible() {
+		return nil, fmt.Errorf("core: form C infeasible: working set %d bits + design BRAM %d bits exceed the device's %d BRAM bits",
+			est.WorkingSetBits(), est.Used.BRAM, c.Target.Capacity.BRAM)
+	}
+	params, err := perf.Extract(est, c.BW, w)
+	if err != nil {
+		return nil, err
+	}
+	ekit, bd, err := params.EKIT(form)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Module: m, Est: est, Params: params, Form: form, EKIT: ekit, Breakdown: bd}, nil
+}
+
+// EmitHDL generates the synthesisable Verilog of the design variant.
+func (c *Compiler) EmitHDL(m *tir.Module) (string, error) { return hdl.Emit(m) }
+
+// Synthesize runs the synthesis substrate, producing the "actual"
+// resource numbers the cost model is validated against (Table II).
+func (c *Compiler) Synthesize(m *tir.Module) (*fabric.Netlist, error) {
+	return fabric.New(c.Target).Synthesize(m)
+}
+
+// Simulate executes the design variant cycle-accurately on the given
+// memory contents, producing outputs and the actual CPKI.
+func (c *Compiler) Simulate(m *tir.Module, mem map[string][]int64) (*pipesim.Result, error) {
+	return pipesim.Run(m, mem)
+}
+
+// Explore sweeps a variant family and returns the costed design space
+// with its walls and the selected best variant (Fig 15).
+func (c *Compiler) Explore(build dse.VariantBuilder, lanes []int, w perf.Workload, form perf.Form) (*dse.Sweep, error) {
+	return dse.SweepLanes(c.Model, c.BW, build, lanes, w, form)
+}

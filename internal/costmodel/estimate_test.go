@@ -1,0 +1,222 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/fabric"
+	"repro/internal/kernels"
+	"repro/internal/tir"
+)
+
+func pctErr(est, actual int) float64 {
+	if actual == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 100
+	}
+	return math.Abs(float64(est-actual)) / float64(actual) * 100
+}
+
+// TestEstimateAccuracyTableII is the heart of the reproduction: for each
+// of the three scientific kernels, the cost model's estimates must track
+// the synthesis substrate within the error band the paper reports
+// (0-13%, mostly low single digits).
+func TestEstimateAccuracyTableII(t *testing.T) {
+	tgt := device.StratixVGSD8()
+	mdl, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := fabric.New(tgt)
+
+	specs := []kernels.Spec{kernels.DefaultSOR(), kernels.DefaultHotspot(), kernels.DefaultLavaMD()}
+	for _, spec := range specs {
+		t.Run(spec.Name(), func(t *testing.T) {
+			m, err := spec.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := mdl.Estimate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl, err := synth.Synthesize(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type row struct {
+				name        string
+				est, actual int
+				maxPct      float64
+			}
+			rows := []row{
+				{"ALUT", est.Used.ALUTs, nl.Used.ALUTs, 8},
+				{"REG", est.Used.Regs, nl.Used.Regs, 10},
+				{"BRAM", est.Used.BRAM, nl.Used.BRAM, 5},
+				{"DSP", est.Used.DSPs, nl.Used.DSPs, 5},
+			}
+			for _, r := range rows {
+				e := pctErr(r.est, r.actual)
+				t.Logf("%-4s est=%7d actual=%7d err=%.1f%%", r.name, r.est, r.actual, e)
+				if e > r.maxPct {
+					t.Errorf("%s error %.1f%% exceeds %.0f%% (est %d, actual %d)",
+						r.name, e, r.maxPct, r.est, r.actual)
+				}
+			}
+			if est.Used.ALUTs == nl.Used.ALUTs && est.Used.Regs == nl.Used.Regs {
+				t.Error("estimate coincides exactly with synthesis; the model should not see packing effects")
+			}
+		})
+	}
+}
+
+func TestSORBRAMWindowMatchesPaper(t *testing.T) {
+	// The paper's Table II SOR row: BRAM estimated 5418 bits vs actual
+	// 5400 (0.3% error). The 15x10 plane gives a ±150 k-offset: the
+	// model books the controller's nominal 301-element window (5418
+	// bits at ui18) while the mapper packs 300 elements.
+	tgt := device.StratixVGSD8()
+	mdl, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernels.DefaultSOR().Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mdl.Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := fabric.New(tgt).Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Used.BRAM != 5418 {
+		t.Errorf("estimated BRAM = %d bits, want 5418", est.Used.BRAM)
+	}
+	if nl.Used.BRAM != 5400 {
+		t.Errorf("actual BRAM = %d bits, want 5400", nl.Used.BRAM)
+	}
+	if est.Used.DSPs != 0 || nl.Used.DSPs != 0 {
+		t.Errorf("integer SOR uses no DSPs (constant multiplies), got est %d actual %d",
+			est.Used.DSPs, nl.Used.DSPs)
+	}
+}
+
+func TestEstimateStructuralParams(t *testing.T) {
+	tgt := device.StratixVGSD8()
+	mdl, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.DefaultSOR()
+	m, err := spec.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mdl.Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Noff != 150 {
+		t.Errorf("Noff = %d, want 150", est.Noff)
+	}
+	if est.Lanes != 1 {
+		t.Errorf("Lanes = %d, want 1", est.Lanes)
+	}
+	if est.KPD < 5 || est.KPD > 40 {
+		t.Errorf("KPD = %d, implausible for the SOR datapath", est.KPD)
+	}
+	if est.NI < 20 {
+		t.Errorf("NI = %d, SOR has ~26 datapath instructions", est.NI)
+	}
+	if est.Config != tir.ConfigPipe {
+		t.Errorf("Config = %v, want C1 pipeline", est.Config)
+	}
+	// CPKI = priming + fill + one item/cycle.
+	n := spec.GlobalSize()
+	cpki := est.CPKI(n)
+	if cpki <= n || cpki > n+200 {
+		t.Errorf("CPKI = %d for %d items, want n + small fill", cpki, n)
+	}
+}
+
+func TestEstimateLaneScaling(t *testing.T) {
+	// Per-lane resources replicate: a 4-lane variant must cost ~4x the
+	// kernel logic of the 1-lane variant (modulo the shared shim), and
+	// CPKI must drop by ~4x.
+	tgt := device.StratixVGSD8()
+	mdl, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 1}.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 4}.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := mdl.Estimate(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := mdl.Estimate(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Lanes != 4 {
+		t.Fatalf("lanes = %d", e4.Lanes)
+	}
+	// The design-level shim is shared; the kernel logic replicates.
+	ratio := float64(e4.Used.ALUTs-mdl.ShimALUTs) / float64(e1.Used.ALUTs-mdl.ShimALUTs)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4-lane ALUT ratio = %.2f, want ~4", ratio)
+	}
+	n := int64(15 * 10 * 16)
+	c1, c4 := e1.CPKI(n), e4.CPKI(n)
+	if sp := float64(c1) / float64(c4); sp < 2.5 || sp > 4.2 {
+		t.Errorf("CPKI speedup = %.2f, want ~4 minus fill", sp)
+	}
+}
+
+func TestEstimateFitsAndUtilisation(t *testing.T) {
+	tgt := device.StratixVGSD8()
+	mdl, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernels.DefaultSOR().Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mdl.Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Fits() {
+		t.Error("a single SOR pipeline must fit the GSD8")
+	}
+	a, r, b, d := est.Utilisation()
+	for name, u := range map[string]float64{"aluts": a, "regs": r, "bram": b, "dsps": d} {
+		if u < 0 || u > 1 {
+			t.Errorf("utilisation %s = %v outside [0,1]", name, u)
+		}
+	}
+}
+
+func TestEstimateRejectsInvalidModule(t *testing.T) {
+	tgt := device.StratixVGSD8()
+	mdl, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdl.Estimate(&tir.Module{Name: "empty"}); err == nil {
+		t.Error("empty module accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package costmodel
+
+// Expr is a fitted scalar cost expression in one variable (the operand
+// bit-width). Polynomial and PiecewiseLinear both satisfy it, so the
+// calibrator can pick whichever family matches an operator's observed
+// behaviour (§V-A: "simple first or second order expressions").
+type Expr interface {
+	Eval(x float64) float64
+	EvalInt(x float64) int
+	String() string
+}
+
+// ConstExpr is a width-independent cost (e.g. float units, whose size is
+// set by the IEEE format rather than growing smoothly with width).
+type ConstExpr float64
+
+// Eval returns the constant.
+func (c ConstExpr) Eval(float64) float64 { return float64(c) }
+
+// EvalInt returns the constant rounded down to a non-negative int.
+func (c ConstExpr) EvalInt(float64) int {
+	if c < 0 {
+		return 0
+	}
+	return int(float64(c) + 0.5)
+}
+
+func (c ConstExpr) String() string { return Polynomial{Coeffs: []float64{float64(c)}}.String() }

@@ -1,0 +1,267 @@
+// Package costmodel implements the paper's resource-utilisation cost
+// model (§V-A): simple first/second-order expressions per primitive
+// instruction, fitted to a handful of one-time synthesis experiments per
+// target device, then accumulated over the IR of a design variant
+// together with the structural information implied by the function
+// types.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Polynomial is a fitted polynomial cost expression c0 + c1·x + c2·x² + …
+// used e.g. for divider ALUTs (the x²+3.7x−10.6 trend line of Fig 9).
+type Polynomial struct {
+	Coeffs []float64 // Coeffs[i] multiplies x^i
+}
+
+// Eval evaluates the polynomial by Horner's method.
+func (p Polynomial) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]
+	}
+	return v
+}
+
+// EvalInt evaluates and rounds to a non-negative integer resource count.
+func (p Polynomial) EvalInt(x float64) int {
+	v := int(math.Round(p.Eval(x)))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// String renders the polynomial for reports, e.g. "x^2 + 3.7x - 10.6".
+func (p Polynomial) String() string {
+	if len(p.Coeffs) == 0 {
+		return "0"
+	}
+	var terms []string
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		c := p.Coeffs[i]
+		if math.Abs(c) < 1e-9 {
+			continue
+		}
+		mag := fmt.Sprintf("%.4g", c)
+		if i > 0 && (c == 1 || c == -1) {
+			mag = strings.TrimSuffix(mag, "1")
+		}
+		var t string
+		switch i {
+		case 0:
+			t = mag
+		case 1:
+			t = mag + "x"
+		default:
+			t = fmt.Sprintf("%sx^%d", mag, i)
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	s := terms[0]
+	for _, t := range terms[1:] {
+		if strings.HasPrefix(t, "-") {
+			s += " - " + t[1:]
+		} else {
+			s += " + " + t
+		}
+	}
+	return s
+}
+
+// PolyFit fits a polynomial of the given degree to the points by
+// least squares (normal equations solved with partial-pivot Gaussian
+// elimination). With len(xs) == degree+1 the fit interpolates exactly,
+// which is how the paper derives its divider expression from three
+// synthesis points (18, 32, 64 bits).
+func PolyFit(xs, ys []float64, degree int) (Polynomial, error) {
+	if len(xs) != len(ys) {
+		return Polynomial{}, fmt.Errorf("costmodel: PolyFit: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < degree+1 {
+		return Polynomial{}, fmt.Errorf("costmodel: PolyFit: need at least %d points for degree %d, got %d",
+			degree+1, degree, len(xs))
+	}
+	n := degree + 1
+	// Normal equations: (VᵀV) c = Vᵀ y with Vandermonde V.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for k := range xs {
+		pow := make([]float64, n)
+		pow[0] = 1
+		for i := 1; i < n; i++ {
+			pow[i] = pow[i-1] * xs[k]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] += pow[i] * pow[j]
+			}
+			b[i] += pow[i] * ys[k]
+		}
+	}
+	c, err := solveLinear(a, b)
+	if err != nil {
+		return Polynomial{}, err
+	}
+	return Polynomial{Coeffs: c}, nil
+}
+
+// solveLinear solves a·x = b with partial-pivot Gaussian elimination,
+// destroying a and b.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("costmodel: singular system in fit")
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// PiecewiseLinear is a cost expression interpolated linearly between
+// fitted sample points, with clearly identifiable discontinuity points
+// allowed by duplicating x values — the multiplier ALUT/DSP behaviour of
+// Fig 9 ("piece-wise-linear behaviour with respect to the bit-size, with
+// clearly identifiable points of discontinuity").
+type PiecewiseLinear struct {
+	Xs []float64 // ascending; equal consecutive values mark a jump
+	Ys []float64
+}
+
+// NewPiecewiseLinear builds a model from sample points, sorting by x.
+func NewPiecewiseLinear(xs, ys []float64) (PiecewiseLinear, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PiecewiseLinear{}, fmt.Errorf("costmodel: piecewise-linear needs >=2 matched points")
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	p := PiecewiseLinear{Xs: make([]float64, len(xs)), Ys: make([]float64, len(ys))}
+	for i, k := range idx {
+		p.Xs[i] = xs[k]
+		p.Ys[i] = ys[k]
+	}
+	return p, nil
+}
+
+// Eval interpolates at x, clamping outside the sampled range.
+func (p PiecewiseLinear) Eval(x float64) float64 {
+	n := len(p.Xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= p.Xs[0] {
+		return p.Ys[0]
+	}
+	if x >= p.Xs[n-1] {
+		return p.Ys[n-1]
+	}
+	// Find the segment; at a duplicated x (jump) take the right-hand
+	// side for x strictly greater.
+	i := sort.Search(n, func(i int) bool { return p.Xs[i] >= x }) // first >= x
+	lo, hi := i-1, i
+	if p.Xs[hi] == p.Xs[lo] {
+		return p.Ys[hi]
+	}
+	t := (x - p.Xs[lo]) / (p.Xs[hi] - p.Xs[lo])
+	return p.Ys[lo] + t*(p.Ys[hi]-p.Ys[lo])
+}
+
+// String renders the model as its breakpoint list, e.g.
+// "pwl[(18,0) (27,18) (36,30)]".
+func (p PiecewiseLinear) String() string {
+	var b strings.Builder
+	b.WriteString("pwl[")
+	for i := range p.Xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%.4g,%.4g)", p.Xs[i], p.Ys[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// EvalInt evaluates and rounds to a non-negative integer.
+func (p PiecewiseLinear) EvalInt(x float64) int {
+	v := int(math.Round(p.Eval(x)))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// StepFunc is a non-decreasing step model used for DSP-element counts:
+// thresholds[i] is the largest x mapped to values[i].
+type StepFunc struct {
+	Thresholds []float64 // ascending upper bounds
+	Values     []int
+}
+
+// Eval returns the step value for x; x beyond the last threshold takes
+// the last value.
+func (s StepFunc) Eval(x float64) int {
+	for i, t := range s.Thresholds {
+		if x <= t {
+			return s.Values[i]
+		}
+	}
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// FitSteps recovers a step function from sample points (x ascending):
+// every change in y opens a new step whose threshold is the last x at
+// the previous value.
+func FitSteps(xs []float64, ys []int) StepFunc {
+	var s StepFunc
+	for i := range xs {
+		if len(s.Values) > 0 && s.Values[len(s.Values)-1] == ys[i] {
+			s.Thresholds[len(s.Thresholds)-1] = xs[i]
+			continue
+		}
+		s.Thresholds = append(s.Thresholds, xs[i])
+		s.Values = append(s.Values, ys[i])
+	}
+	return s
+}

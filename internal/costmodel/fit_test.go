@@ -1,0 +1,229 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyFitExactInterpolation(t *testing.T) {
+	// Degree n-1 through n points must interpolate exactly.
+	xs := []float64{18, 32, 64}
+	ys := []float64{100, 250, 900}
+	p, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := p.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-6 {
+			t.Errorf("p(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestPolyFitRecoversQuadratic(t *testing.T) {
+	// Least squares over more points than coefficients recovers the
+	// generating polynomial when the data is noise-free.
+	gen := Polynomial{Coeffs: []float64{-10.6, 3.7, 1}}
+	var xs, ys []float64
+	for w := 4; w <= 64; w += 4 {
+		xs = append(xs, float64(w))
+		ys = append(ys, gen.Eval(float64(w)))
+	}
+	p, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range gen.Coeffs {
+		if math.Abs(p.Coeffs[i]-want) > 1e-6 {
+			t.Errorf("coeff %d = %v, want %v", i, p.Coeffs[i], want)
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, 2); err == nil {
+		t.Error("too few points: want error")
+	}
+	// Duplicate x values make the system singular for degree >= 1.
+	if _, err := PolyFit([]float64{5, 5}, []float64{1, 2}, 1); err == nil {
+		t.Error("singular system: want error")
+	}
+}
+
+func TestPolyFitProperty(t *testing.T) {
+	// Property: any three points with distinct x are interpolated exactly
+	// by a degree-2 fit.
+	f := func(x0raw, x1raw, x2raw int8, y0, y1, y2 int16) bool {
+		x0 := float64(x0raw)
+		x1 := float64(x1raw)
+		x2 := float64(x2raw)
+		if x0 == x1 || x1 == x2 || x0 == x2 {
+			return true
+		}
+		xs := []float64{x0, x1, x2}
+		ys := []float64{float64(y0), float64(y1), float64(y2)}
+		p, err := PolyFit(xs, ys, 2)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			// Interpolation through wide-spread points is ill-conditioned
+			// in float64; allow a small relative tolerance.
+			tol := 1e-6 * (1 + math.Abs(ys[i]))
+			if math.Abs(p.Eval(xs[i])-ys[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolynomialString(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{-10.6, 3.7, 1}}
+	if got := p.String(); got != "x^2 + 3.7x - 10.6" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Polynomial{}).String(); got != "0" {
+		t.Errorf("empty String() = %q", got)
+	}
+	if got := (Polynomial{Coeffs: []float64{0, 0}}).String(); got != "0" {
+		t.Errorf("zero String() = %q", got)
+	}
+}
+
+func TestPolynomialEvalInt(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{-100}}
+	if got := p.EvalInt(1); got != 0 {
+		t.Errorf("negative clamps to 0, got %d", got)
+	}
+	p = Polynomial{Coeffs: []float64{2.6}}
+	if got := p.EvalInt(1); got != 3 {
+		t.Errorf("rounding: got %d, want 3", got)
+	}
+}
+
+func TestPiecewiseLinearEval(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{10, 20, 40}, []float64{0, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{5, 0},   // clamp low
+		{10, 0},  // endpoint
+		{15, 5},  // interpolate
+		{20, 10}, // knot
+		{30, 10}, // flat segment
+		{50, 10}, // clamp high
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseLinearJump(t *testing.T) {
+	// Duplicated x marks a discontinuity: left value at x, right value
+	// just above (the multiplier DSP boundaries of Fig 9).
+	p, err := NewPiecewiseLinear([]float64{10, 18, 18, 30}, []float64{0, 0, 12, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(18); got != 0 {
+		t.Errorf("at jump = %v, want left value 0", got)
+	}
+	if got := p.Eval(18.5); got <= 12-1 {
+		t.Errorf("just after jump = %v, want >= ~12", got)
+	}
+}
+
+func TestPiecewiseLinearSortsInput(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{40, 10, 20}, []float64{40, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(15); math.Abs(got-15) > 1e-9 {
+		t.Errorf("Eval(15) = %v, want 15", got)
+	}
+}
+
+func TestPiecewiseLinearErrors(t *testing.T) {
+	if _, err := NewPiecewiseLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := NewPiecewiseLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched: want error")
+	}
+}
+
+func TestPiecewiseLinearMonotoneProperty(t *testing.T) {
+	// Property: interpolation of a monotone sample stays within the
+	// sampled y range.
+	p, err := NewPiecewiseLinear(
+		[]float64{4, 8, 16, 32, 64},
+		[]float64{1, 3, 9, 20, 44},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint8) bool {
+		x := float64(raw)
+		y := p.Eval(x)
+		return y >= 1 && y <= 44
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepFunc(t *testing.T) {
+	s := FitSteps([]float64{8, 18, 27, 36}, []int{1, 1, 2, 4})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{4, 1}, {18, 1}, {19, 2}, {27, 2}, {28, 4}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := s.Eval(c.x); got != c.want {
+			t.Errorf("Eval(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStepFuncEmpty(t *testing.T) {
+	var s StepFunc
+	if got := s.Eval(10); got != 0 {
+		t.Errorf("empty step func = %d, want 0", got)
+	}
+}
+
+func TestFitStepsMergesRuns(t *testing.T) {
+	s := FitSteps([]float64{1, 2, 3, 4}, []int{5, 5, 5, 7})
+	if len(s.Values) != 2 {
+		t.Fatalf("want 2 steps, got %v", s.Values)
+	}
+	if s.Thresholds[0] != 3 {
+		t.Errorf("first threshold = %v, want 3 (last x at value 5)", s.Thresholds[0])
+	}
+}
+
+func TestConstExpr(t *testing.T) {
+	c := ConstExpr(7.4)
+	if c.Eval(99) != 7.4 {
+		t.Error("Eval should ignore x")
+	}
+	if c.EvalInt(0) != 7 {
+		t.Errorf("EvalInt = %d", c.EvalInt(0))
+	}
+	if ConstExpr(-3).EvalInt(0) != 0 {
+		t.Error("negative clamps to 0")
+	}
+}

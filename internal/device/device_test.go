@@ -1,0 +1,113 @@
+package device
+
+import "testing"
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{ALUTs: 1, Regs: 2, BRAM: 3, DSPs: 4}
+	b := Resources{ALUTs: 10, Regs: 20, BRAM: 30, DSPs: 40}
+	if got := a.Add(b); got != (Resources{11, 22, 33, 44}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(3); got != (Resources{3, 6, 9, 12}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestFitsIn(t *testing.T) {
+	cap := Resources{ALUTs: 100, Regs: 100, BRAM: 100, DSPs: 100}
+	if !(Resources{100, 100, 100, 100}).FitsIn(cap) {
+		t.Error("exact fit rejected")
+	}
+	for _, r := range []Resources{
+		{101, 0, 0, 0}, {0, 101, 0, 0}, {0, 0, 101, 0}, {0, 0, 0, 101},
+	} {
+		if r.FitsIn(cap) {
+			t.Errorf("%v should not fit", r)
+		}
+	}
+}
+
+func TestUtilisation(t *testing.T) {
+	cap := Resources{ALUTs: 200, Regs: 400, BRAM: 100, DSPs: 0}
+	a, r, b, d := (Resources{100, 100, 100, 100}).Utilisation(cap)
+	if a != 0.5 || r != 0.25 || b != 1.0 {
+		t.Errorf("utilisation = %v %v %v", a, r, b)
+	}
+	if d != 0 {
+		t.Errorf("zero capacity should yield zero utilisation, got %v", d)
+	}
+}
+
+func TestMaxUtilisation(t *testing.T) {
+	cap := Resources{ALUTs: 100, Regs: 100, BRAM: 100, DSPs: 100}
+	frac, name := (Resources{10, 90, 40, 20}).MaxUtilisation(cap)
+	if name != "Regs" || frac != 0.9 {
+		t.Errorf("max utilisation = %v %s", frac, name)
+	}
+}
+
+func TestBuiltinTargetsValidate(t *testing.T) {
+	for _, tgt := range []*Target{StratixVGSD8(), Virtex7690T(), GSD8Edu()} {
+		if err := tgt.Validate(); err != nil {
+			t.Errorf("%s: %v", tgt.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	mutations := []func(*Target){
+		func(t *Target) { t.Name = "" },
+		func(t *Target) { t.Capacity.ALUTs = 0 },
+		func(t *Target) { t.FmaxHz = 0 },
+		func(t *Target) { t.DRAM.PeakBandwidth = 0 },
+		func(t *Target) { t.Link.PeakBandwidth = 0 },
+		func(t *Target) { t.BRAMBlock = 0 },
+		func(t *Target) { t.DSPWidth = 0 },
+	}
+	for i, mut := range mutations {
+		tgt := StratixVGSD8()
+		mut(tgt)
+		if err := tgt.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"stratix-v-gsd8", "stratix-v", "maia"} {
+		tgt, err := ByName(alias)
+		if err != nil || tgt.Family != "stratix-v" {
+			t.Errorf("ByName(%q): %v", alias, err)
+		}
+	}
+	for _, alias := range []string{"virtex-7-690t", "virtex-7", "adm-pcie-7v3"} {
+		tgt, err := ByName(alias)
+		if err != nil || tgt.Family != "virtex-7" {
+			t.Errorf("ByName(%q): %v", alias, err)
+		}
+	}
+	if _, err := ByName("cyclone-ii"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestEduTargetIsScaled(t *testing.T) {
+	full := StratixVGSD8()
+	edu := GSD8Edu()
+	if edu.Capacity.ALUTs >= full.Capacity.ALUTs/10 {
+		t.Error("edu target should be drastically smaller than the GSD8")
+	}
+	if edu.Name == full.Name {
+		t.Error("edu target must be distinguishable by name")
+	}
+}
+
+func TestHostCPU(t *testing.T) {
+	cpu := IntelI7Quad16()
+	if cpu.ClockHz != 1.6e9 {
+		t.Errorf("the paper's host runs at 1.6 GHz, got %v", cpu.ClockHz)
+	}
+	if cpu.IPC <= 0 || cpu.DeltaWatts <= 0 || cpu.MemBWBytesPerS <= 0 {
+		t.Error("host CPU model has non-positive parameters")
+	}
+}

@@ -1,0 +1,148 @@
+// Package dse is the design-space-exploration driver of the TyTra flow:
+// it walks a family of design variants (typically the lane-count sweep
+// that reshapeTo generates, §VI-A), costs every variant with the resource
+// and throughput models, identifies the walls that bound the design
+// space — the computation wall where the device runs out of a resource,
+// and the communication walls where host or DRAM bandwidth saturates
+// (Fig 15) — and selects the best valid variant.
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/tir"
+)
+
+// VariantBuilder produces the design variant with the given number of
+// parallel kernel lanes.
+type VariantBuilder func(lanes int) (*tir.Module, error)
+
+// Point is one evaluated design variant.
+type Point struct {
+	Lanes int
+	Est   *costmodel.Estimate
+	Par   perf.Params
+
+	// EKIT is the kernel-instance throughput (the EWGT axis of Fig 15);
+	// Breakdown carries the per-term times and the limiter.
+	EKIT      float64
+	Breakdown perf.Breakdown
+
+	// Utilisation fractions, the vertical bars of Fig 15.
+	UtilALUT, UtilReg, UtilBRAM, UtilDSP float64
+	// UtilGMemBW and UtilHostBW are the fractions of sustained DRAM and
+	// host bandwidth the variant demands when streaming at full rate.
+	UtilGMemBW, UtilHostBW float64
+
+	// Fits reports whether the variant fits the device (false beyond the
+	// computation wall).
+	Fits bool
+}
+
+// Sweep is the outcome of exploring one variant family under one
+// memory-execution form.
+type Sweep struct {
+	Form   perf.Form
+	Points []Point
+
+	// ComputeWall is the smallest swept lane count that no longer fits
+	// the device, or 0 if everything fits.
+	ComputeWall int
+	// HostWall is the smallest lane count whose host-bandwidth demand
+	// exceeds the sustained link rate, or 0. Only meaningful for form A,
+	// where every instance re-streams over the link.
+	HostWall int
+	// DRAMWall is the smallest lane count whose DRAM demand exceeds the
+	// sustained rate, or 0.
+	DRAMWall int
+
+	// Best is the highest-EKIT variant that fits, or nil if none fit.
+	Best *Point
+}
+
+// SweepLanes builds, costs and ranks variants at each lane count.
+func SweepLanes(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	lanes []int, w perf.Workload, form perf.Form) (*Sweep, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("dse: no lane counts to sweep")
+	}
+	sw := &Sweep{Form: form}
+	for _, l := range lanes {
+		m, err := build(l)
+		if err != nil {
+			return nil, fmt.Errorf("dse: building %d-lane variant: %w", l, err)
+		}
+		est, err := mdl.Estimate(m)
+		if err != nil {
+			return nil, fmt.Errorf("dse: costing %d-lane variant: %w", l, err)
+		}
+		par, err := perf.Extract(est, bw, w)
+		if err != nil {
+			return nil, fmt.Errorf("dse: extracting %d-lane parameters: %w", l, err)
+		}
+		ekit, bd, err := par.EKIT(form)
+		if err != nil {
+			return nil, fmt.Errorf("dse: evaluating %d-lane variant: %w", l, err)
+		}
+		p := Point{Lanes: l, Est: est, Par: par, EKIT: ekit, Breakdown: bd, Fits: est.Fits()}
+		p.UtilALUT, p.UtilReg, p.UtilBRAM, p.UtilDSP = est.Utilisation()
+
+		// Full-rate bandwidth demand: every lane consumes one tuple per
+		// cycle (the paper's pipelined configurations).
+		demand := par.FD * float64(par.KNL) * float64(par.DV) *
+			float64(par.NWPT) * float64(par.WordBytes) / par.CyclesPerItem()
+		p.UtilGMemBW = demand / (par.GPB * par.RhoG)
+		hostDemand := demand
+		if form != perf.FormA {
+			// Forms B/C move host data once per NKI instances.
+			hostDemand /= float64(par.NKI)
+		}
+		p.UtilHostBW = hostDemand / (par.HPB * par.RhoH)
+
+		if !p.Fits && sw.ComputeWall == 0 {
+			sw.ComputeWall = l
+		}
+		if p.UtilHostBW >= 1 && sw.HostWall == 0 {
+			sw.HostWall = l
+		}
+		if p.UtilGMemBW >= 1 && sw.DRAMWall == 0 {
+			sw.DRAMWall = l
+		}
+		sw.Points = append(sw.Points, p)
+	}
+
+	for i := range sw.Points {
+		p := &sw.Points[i]
+		if !p.Fits {
+			continue
+		}
+		if sw.Best == nil || p.EKIT > sw.Best.EKIT {
+			sw.Best = p
+		}
+	}
+	return sw, nil
+}
+
+// LaneCounts returns the 1..max sweep used by the Fig 15 experiment.
+func LaneCounts(max int) []int {
+	out := make([]int, 0, max)
+	for l := 1; l <= max; l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// DivisorLaneCounts returns the lane counts in [1, max] that divide n
+// evenly — the reshape-legal variants for a stream of n elements.
+func DivisorLaneCounts(n int64, max int) []int {
+	var out []int
+	for l := 1; l <= max; l++ {
+		if n%int64(l) == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}

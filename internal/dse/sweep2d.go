@@ -1,0 +1,66 @@
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/membw"
+	"repro/internal/perf"
+)
+
+// Sweep2D explores the two horizontal axes of the Fig 5 design space
+// together: thread parallelism (lanes, the C1/C2 region) and
+// medium-grained vectorisation per lane (DV, the C3 region). The
+// interesting trade-off the cost model exposes: a vectorised lane
+// shares its stream controllers and offset windows across ways, so at
+// equal work-items/cycle a (lanes, DV) point can cost less logic than
+// (lanes·DV, 1) — but it demands the same bandwidth, so it hits the
+// communication walls at the same throughput.
+type Sweep2D struct {
+	Form perf.Form
+	// Points[i][j] is the variant with Lanes[i] lanes at DVs[j] ways.
+	Lanes  []int
+	DVs    []int
+	Points [][]Point
+	// Best is the highest-EKIT fitting point, or nil.
+	Best *Point
+}
+
+// SweepLanesDV evaluates every (lanes, dv) combination.
+func SweepLanesDV(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	lanes, dvs []int, w perf.Workload, form perf.Form) (*Sweep2D, error) {
+	if len(lanes) == 0 || len(dvs) == 0 {
+		return nil, fmt.Errorf("dse: empty lane or DV axis")
+	}
+	sw := &Sweep2D{Form: form, Lanes: lanes, DVs: dvs}
+	for _, l := range lanes {
+		m, err := build(l)
+		if err != nil {
+			return nil, fmt.Errorf("dse: building %d-lane variant: %w", l, err)
+		}
+		row := make([]Point, 0, len(dvs))
+		for _, dv := range dvs {
+			est, err := mdl.EstimateVectorised(m, dv)
+			if err != nil {
+				return nil, fmt.Errorf("dse: costing %d-lane dv=%d variant: %w", l, dv, err)
+			}
+			par, err := perf.Extract(est, bw, w)
+			if err != nil {
+				return nil, err
+			}
+			ekit, bd, err := par.EKIT(form)
+			if err != nil {
+				return nil, err
+			}
+			p := Point{Lanes: l, Est: est, Par: par, EKIT: ekit, Breakdown: bd, Fits: est.Fits()}
+			p.UtilALUT, p.UtilReg, p.UtilBRAM, p.UtilDSP = est.Utilisation()
+			row = append(row, p)
+			if p.Fits && (sw.Best == nil || p.EKIT > sw.Best.EKIT) {
+				best := p
+				sw.Best = &best
+			}
+		}
+		sw.Points = append(sw.Points, row)
+	}
+	return sw, nil
+}

@@ -1,0 +1,203 @@
+// Package kernels provides the three HPC scientific kernels the paper
+// evaluates its cost model on (§VI-B, Table II):
+//
+//   - SOR: the successive over-relaxation pressure solver from the Large
+//     Eddy Simulator weather model — a 7-point 3-D stencil.
+//   - Hotspot: the Rodinia processor-temperature benchmark — a 5-point
+//     2-D stencil with per-cell material coefficients.
+//   - LavaMD: the Rodinia molecular-dynamics benchmark — an element-wise
+//     particle-pair potential/force computation.
+//
+// Each kernel comes in three coupled forms that the tests hold to the
+// same behaviour: a golden Go implementation (the scientific reference,
+// computed with the same fixed-width wrap-around semantics as the
+// generated hardware), a TyTra-IR builder parameterised by the number of
+// parallel lanes (the design variants of §II), and a deterministic
+// workload generator.
+//
+// As in the paper, the kernels are integer (fixed-point) versions of the
+// original floating-point codes.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/tir"
+)
+
+// Spec is a kernel specification: enough to build the IR design variant,
+// generate a workload, and predict the correct output.
+type Spec interface {
+	// Name identifies the kernel ("sor", "hotspot", "lavamd").
+	Name() string
+	// Module builds the TyTra-IR design variant.
+	Module() (*tir.Module, error)
+	// GlobalSize is NGS: the number of work-items in one kernel-instance.
+	GlobalSize() int64
+	// WordsPerItem is NWPT: words streamed per work-item (inputs+outputs).
+	WordsPerItem() int
+	// InputNames lists the logical input streams in declaration order.
+	InputNames() []string
+	// OutputNames lists the logical output streams in declaration order.
+	OutputNames() []string
+	// MakeInputs generates a deterministic workload keyed by logical
+	// stream name, each array of length GlobalSize.
+	MakeInputs(seed int64) map[string][]int64
+	// Golden computes the reference outputs and accumulator values for
+	// the given inputs, on the full (unpartitioned) index space.
+	Golden(in map[string][]int64) (out map[string][]int64, acc map[string]int64)
+}
+
+// LanedSpec is implemented by kernels whose Module replicates the
+// pipeline into parallel lanes.
+type LanedSpec interface {
+	Spec
+	// LaneCount returns the number of parallel kernel lanes (KNL).
+	LaneCount() int
+}
+
+// lcg is a deterministic linear congruential generator for workloads:
+// the same seed always produces the same streams, so golden values,
+// simulation results and benchmarks are reproducible.
+type lcg struct{ state uint64 }
+
+func newLCG(seed int64) *lcg {
+	return &lcg{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
+}
+
+func (r *lcg) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 16
+}
+
+// uniform returns a value in [0, n).
+func (r *lcg) uniform(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// fill populates a slice with uniform values in [0, n).
+func (r *lcg) fill(dst []int64, n int64) {
+	for i := range dst {
+		dst[i] = r.uniform(n)
+	}
+}
+
+// Scatter partitions a full stream into contiguous per-lane chunks, the
+// order- and size-preserving split of reshapeTo (§II, Fig 3). The length
+// must divide evenly.
+func Scatter(full []int64, lanes int) ([][]int64, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("kernels: lanes must be positive, got %d", lanes)
+	}
+	if len(full)%lanes != 0 {
+		return nil, fmt.Errorf("kernels: stream of %d elements does not divide into %d lanes", len(full), lanes)
+	}
+	chunk := len(full) / lanes
+	out := make([][]int64, lanes)
+	for l := 0; l < lanes; l++ {
+		out[l] = full[l*chunk : (l+1)*chunk]
+	}
+	return out, nil
+}
+
+// Gather reassembles per-lane chunks into the full stream.
+func Gather(parts [][]int64) []int64 {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int64, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// MemName returns the memory-object name that a lane's port binds to,
+// following the builder's naming convention. Single-lane designs use
+// lane -1 (no suffix).
+func MemName(port string, lane int) string {
+	if lane < 0 {
+		return "mem_main_" + port
+	}
+	return fmt.Sprintf("mem_main_%s%d", port, lane)
+}
+
+// BindInputs scatters full input streams into the per-memory-object view
+// the pipeline simulator consumes.
+func BindInputs(full map[string][]int64, lanes int) (map[string][]int64, error) {
+	out := map[string][]int64{}
+	for name, data := range full {
+		if lanes <= 1 {
+			out[MemName(name, -1)] = data
+			continue
+		}
+		parts, err := Scatter(data, lanes)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: stream %s: %w", name, err)
+		}
+		for l, p := range parts {
+			out[MemName(name, l)] = p
+		}
+	}
+	return out, nil
+}
+
+// CollectOutput gathers a logical output stream back out of the
+// per-memory-object view.
+func CollectOutput(mem map[string][]int64, name string, lanes int) ([]int64, error) {
+	if lanes <= 1 {
+		d, ok := mem[MemName(name, -1)]
+		if !ok {
+			return nil, fmt.Errorf("kernels: output %s missing", name)
+		}
+		return d, nil
+	}
+	parts := make([][]int64, lanes)
+	for l := 0; l < lanes; l++ {
+		d, ok := mem[MemName(name, l)]
+		if !ok {
+			return nil, fmt.Errorf("kernels: output %s lane %d missing", name, l)
+		}
+		parts[l] = d
+	}
+	return Gather(parts), nil
+}
+
+// wirePorts declares per-lane top-level ports for every logical stream
+// and emits the call structure: a single pipe call for one lane, or a
+// par wrapper replicating the kernel across lanes (Fig 14).
+func wirePorts(b *tir.Builder, kernelFn string, lanes int, elem tir.Type, laneSize int64,
+	ins, outs []string) error {
+	if lanes < 1 {
+		return fmt.Errorf("kernels: lane count must be >= 1, got %d", lanes)
+	}
+	main := b.Func("main", tir.ModeSeq)
+	portOps := func(lane int) []tir.Operand {
+		suffix := ""
+		if lane >= 0 {
+			suffix = fmt.Sprintf("%d", lane)
+		}
+		var ops []tir.Operand
+		for _, name := range ins {
+			ops = append(ops, b.GlobalPort("main", name+suffix, elem, laneSize, tir.DirIn, tir.PatternContiguous, 1))
+		}
+		for _, name := range outs {
+			ops = append(ops, b.GlobalPort("main", name+suffix, elem, laneSize, tir.DirOut, tir.PatternContiguous, 1))
+		}
+		return ops
+	}
+	if lanes == 1 {
+		main.CallOperands(kernelFn, tir.ModePipe, portOps(-1)...)
+		return nil
+	}
+	par := b.Func("f_lanes", tir.ModePar)
+	for l := 0; l < lanes; l++ {
+		par.CallOperands(kernelFn, tir.ModePipe, portOps(l)...)
+	}
+	main.CallOperands("f_lanes", tir.ModePar)
+	return nil
+}

@@ -1,0 +1,81 @@
+package membw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/tir"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := buildModel(t)
+	var buf strings.Builder
+	if err := orig.SaveTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(device.Virtex7690T(), strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Table) != len(orig.Table) {
+		t.Fatalf("table length %d, want %d", len(loaded.Table), len(orig.Table))
+	}
+	// Predictions must agree everywhere.
+	for _, bytes := range []int64{1 << 12, 1 << 18, 1 << 24, 1 << 30} {
+		for _, pat := range []tir.AccessPattern{tir.PatternContiguous, tir.PatternStrided} {
+			a := orig.SustainedDRAM(bytes, pat)
+			b := loaded.SustainedDRAM(bytes, pat)
+			if rel := (a - b) / a; rel > 1e-9 || rel < -1e-9 {
+				t.Errorf("SustainedDRAM(%d, %v): %v vs %v", bytes, pat, a, b)
+			}
+			a = orig.SustainedSteady(bytes, pat)
+			b = loaded.SustainedSteady(bytes, pat)
+			if rel := (a - b) / a; rel > 1e-9 || rel < -1e-9 {
+				t.Errorf("SustainedSteady(%d, %v): %v vs %v", bytes, pat, a, b)
+			}
+		}
+		if a, b := orig.RhoH(bytes), loaded.RhoH(bytes); a != b {
+			t.Errorf("RhoH(%d): %v vs %v", bytes, a, b)
+		}
+	}
+}
+
+func TestLoadModelRejects(t *testing.T) {
+	tgt := device.Virtex7690T()
+	good := func() string {
+		var buf strings.Builder
+		if err := buildModel(t).SaveTable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "not-a-calibration\n",
+		"bad version":    strings.Replace(good, "tytra-membw 1", "tytra-membw 9", 1),
+		"wrong target":   strings.Replace(good, tgt.Name, "some-other-board", 1),
+		"short line":     good + "100 CONT 400\n",
+		"bad pattern":    good + "100 DIAGONAL 400 1e-3 1e-3\n",
+		"negative value": good + "100 CONT -400 1e-3 1e-3\n",
+		"bad float":      good + "100 CONT 400 zzz 1e-3\n",
+	}
+	for name, src := range cases {
+		if _, err := LoadModel(tgt, strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadModelOrderCheck(t *testing.T) {
+	tgt := device.Virtex7690T()
+	src := "tytra-membw 1 " + tgt.Name + "\n" +
+		"1000 CONT 4000000 1e-3 9e-4\n" +
+		"100 CONT 40000 1e-4 9e-5\n" + // descending: rejected
+		"100 STRIDED 40000 1e-2 9e-3\n" +
+		"1000 STRIDED 4000000 1e-1 9e-2\n"
+	if _, err := LoadModel(tgt, strings.NewReader(src)); err == nil {
+		t.Error("out-of-order samples accepted")
+	}
+}

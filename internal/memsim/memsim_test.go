@@ -1,0 +1,238 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func testDRAM(t *testing.T) *DRAM {
+	t.Helper()
+	d, err := NewDRAM(device.Virtex7690T().DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDRAMRejectsBadSpec(t *testing.T) {
+	bad := []device.DRAMSpec{
+		{},
+		{Banks: 8, RowBytes: 2048, BurstBytes: 64},                                  // no clock
+		{Banks: 0, RowBytes: 2048, BurstBytes: 64, ClockHz: 1, PeakBandwidth: 1},    // no banks
+		{Banks: 8, RowBytes: 0, BurstBytes: 64, ClockHz: 1, PeakBandwidth: 1},       // no row
+		{Banks: 8, RowBytes: 2048, BurstBytes: 0, ClockHz: 1e9, PeakBandwidth: 1e9}, // no burst
+	}
+	for i, spec := range bad {
+		if _, err := NewDRAM(spec); err == nil {
+			t.Errorf("spec %d: want error", i)
+		}
+	}
+}
+
+func TestContiguousNeverSlowerThanStrided(t *testing.T) {
+	d := testDRAM(t)
+	f := func(nRaw uint16, strideRaw uint8) bool {
+		n := int64(nRaw)%10000 + 64
+		stride := int64(strideRaw)%1000 + 2
+		d.Reset()
+		cont, err := d.StreamSeconds(0, n, 4, 1)
+		if err != nil {
+			return false
+		}
+		d.Reset()
+		str, err := d.StreamSeconds(0, n, 4, stride)
+		if err != nil {
+			return false
+		}
+		return cont <= str
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamTimeMonotonicInSize(t *testing.T) {
+	d := testDRAM(t)
+	prev := 0.0
+	for _, n := range []int64{100, 1000, 10000, 100000, 1000000} {
+		d.Reset()
+		s, err := d.StreamSeconds(0, n, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= prev {
+			t.Errorf("n=%d: %v not greater than previous %v", n, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestContiguousApproachesPeak(t *testing.T) {
+	// A very large contiguous stream must sustain close to peak: the
+	// only loss is the row-crossing penalty.
+	d := testDRAM(t)
+	spec := device.Virtex7690T().DRAM
+	n := int64(16 << 20)
+	s, err := d.StreamSeconds(0, n, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(n*4) / s
+	if bw > spec.PeakBandwidth {
+		t.Errorf("sustained %v exceeds peak %v", bw, spec.PeakBandwidth)
+	}
+	if bw < 0.85*spec.PeakBandwidth {
+		t.Errorf("sustained %v below 85%% of peak %v", bw, spec.PeakBandwidth)
+	}
+}
+
+func TestLargeStrideWastesBursts(t *testing.T) {
+	// Stride beyond the row size forces a transaction and an activation
+	// per element: sustained bandwidth must collapse by >= an order of
+	// magnitude versus contiguous.
+	d := testDRAM(t)
+	n := int64(1 << 20)
+	cont, err := d.StreamSeconds(0, n, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	str, err := d.StreamSeconds(0, n, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if str < 10*cont {
+		t.Errorf("strided %v not >= 10x contiguous %v", str, cont)
+	}
+}
+
+func TestNegativeStrideCostsLikePositive(t *testing.T) {
+	d := testDRAM(t)
+	d.Reset()
+	a, _ := d.StreamSeconds(1<<20, 1000, 4, 64)
+	d.Reset()
+	b, _ := d.StreamSeconds(1<<20, 1000, 4, -64)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("mirror stream cost differs: %v vs %v", a, b)
+	}
+}
+
+func TestStreamSecondsEdgeCases(t *testing.T) {
+	d := testDRAM(t)
+	if s, err := d.StreamSeconds(0, 0, 4, 1); err != nil || s != 0 {
+		t.Errorf("zero elements: %v, %v", s, err)
+	}
+	if _, err := d.StreamSeconds(0, 10, 0, 1); err == nil {
+		t.Error("zero element size: want error")
+	}
+	// Stride 0 is treated as contiguous.
+	d.Reset()
+	a, err := d.StreamSeconds(0, 100, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	b, _ := d.StreamSeconds(0, 100, 4, 1)
+	if a != b {
+		t.Errorf("stride 0 (%v) != stride 1 (%v)", a, b)
+	}
+}
+
+func TestRowBufferLocality(t *testing.T) {
+	// Two consecutive sweeps of the same small region: the second sweep
+	// must be cheaper or equal, because rows stay open.
+	d := testDRAM(t)
+	first, err := d.StreamSeconds(0, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := d.StreamSeconds(0, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second > first {
+		t.Errorf("second sweep (%v) slower than first (%v) despite open rows", second, first)
+	}
+}
+
+func TestRandomAccessMatchesStrided(t *testing.T) {
+	// The paper's §V-C observation: "there is little difference in
+	// sustained bandwidth between fixed-stride and true random access".
+	// Both defeat coalescing and pay the transaction round trip.
+	d := testDRAM(t)
+	n := int64(1 << 18)
+	d.Reset()
+	strided, err := d.StreamSeconds(0, n, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	random, err := d.RandomSeconds(42, n, 4, n*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := random / strided
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("random/strided time ratio = %.3f; the paper reports little difference", ratio)
+	}
+}
+
+func TestRandomAccessErrors(t *testing.T) {
+	d := testDRAM(t)
+	if s, err := d.RandomSeconds(1, 0, 4, 1024); err != nil || s != 0 {
+		t.Errorf("zero accesses: %v, %v", s, err)
+	}
+	if _, err := d.RandomSeconds(1, 10, 0, 1024); err == nil {
+		t.Error("zero element size accepted")
+	}
+	if _, err := d.RandomSeconds(1, 10, 4, 4); err == nil {
+		t.Error("degenerate window accepted")
+	}
+}
+
+func TestRandomAccessDeterministic(t *testing.T) {
+	d := testDRAM(t)
+	d.Reset()
+	a, _ := d.RandomSeconds(7, 1000, 4, 1<<20)
+	d.Reset()
+	b, _ := d.RandomSeconds(7, 1000, 4, 1<<20)
+	if a != b {
+		t.Errorf("same seed, different cost: %v vs %v", a, b)
+	}
+}
+
+func TestLinkModel(t *testing.T) {
+	l, err := NewLink(device.StratixVGSD8().Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.TransferSeconds(0); got != 0 {
+		t.Errorf("zero bytes: %v", got)
+	}
+	// Sustained bandwidth grows with transfer size (latency amortised)
+	// and never exceeds the derated payload rate.
+	spec := device.StratixVGSD8().Link
+	prev := 0.0
+	for _, b := range []int64{1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26} {
+		bw := l.SustainedBandwidth(b)
+		if bw <= prev {
+			t.Errorf("bytes=%d: bandwidth %v not increasing (prev %v)", b, bw, prev)
+		}
+		if bw > spec.PeakBandwidth*(1-spec.Overhead) {
+			t.Errorf("bytes=%d: bandwidth %v exceeds derated peak", b, bw)
+		}
+		prev = bw
+	}
+}
+
+func TestLinkRejectsBadSpec(t *testing.T) {
+	if _, err := NewLink(device.LinkSpec{}); err == nil {
+		t.Error("empty spec: want error")
+	}
+	if _, err := NewLink(device.LinkSpec{PeakBandwidth: 1e9, PacketBytes: 256, Overhead: 1.5}); err == nil {
+		t.Error("overhead >= 1: want error")
+	}
+}

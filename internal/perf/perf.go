@@ -1,0 +1,291 @@
+// Package perf implements the paper's throughput cost model (§V-B): the
+// EKIT — Effective Kernel-Instance Throughput — under the three
+// memory-execution forms of the memory-execution model (§III-5, Fig 6),
+// with the Table I parameters extracted from a costed design variant,
+// the target description, and the empirical bandwidth model.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/costmodel"
+	"repro/internal/membw"
+	"repro/internal/tir"
+)
+
+// Form is a memory-execution scenario (Fig 6).
+type Form int
+
+const (
+	// FormA moves all NDRange data between host and device DRAM for
+	// every kernel-instance.
+	FormA Form = iota
+	// FormB moves the data to device DRAM once; kernel-instances stream
+	// from DRAM. The paper expects this form for most real scientific
+	// applications.
+	FormB
+	// FormC keeps the working set in on-chip memory across iterations:
+	// always compute-bound.
+	FormC
+)
+
+// String names the form as in the paper.
+func (f Form) String() string {
+	switch f {
+	case FormA:
+		return "form-A"
+	case FormB:
+		return "form-B"
+	case FormC:
+		return "form-C"
+	}
+	return fmt.Sprintf("form-?(%d)", int(f))
+}
+
+// ParseForm parses "A"/"B"/"C" (or "form-A" etc.).
+func ParseForm(s string) (Form, error) {
+	switch s {
+	case "A", "a", "form-A", "form-a":
+		return FormA, nil
+	case "B", "b", "form-B", "form-b":
+		return FormB, nil
+	case "C", "c", "form-C", "form-c":
+		return FormC, nil
+	}
+	return 0, fmt.Errorf("perf: unknown memory-execution form %q", s)
+}
+
+// Params are the Table I parameters of the EKIT expressions.
+type Params struct {
+	HPB  float64 // host-device peak bandwidth, bytes/s (target description)
+	RhoH float64 // host-link sustained/peak scale factor (empirical)
+	GPB  float64 // device-DRAM peak bandwidth, bytes/s (target description)
+	RhoG float64 // DRAM sustained/peak scale factor (empirical)
+
+	NGS  int64 // global size: work-items per kernel-instance (parsed from IR)
+	NWPT int   // words per tuple per work-item (parsed from IR)
+	NKI  int64 // kernel-instance repetitions (workload)
+	Noff int64 // maximum stream look-ahead (parsed from IR)
+	KPD  int   // kernel pipeline depth (parsed from IR)
+
+	FD  float64 // device operating frequency (design variant)
+	NTO float64 // cycles per instruction slot (design variant)
+	NI  int     // instructions per PE (parsed from IR)
+	KNL int     // parallel kernel lanes (design variant)
+	DV  int     // degree of vectorisation per lane (design variant)
+
+	// WordBytes is the stream element size used to convert the paper's
+	// word counts into the byte-denominated bandwidths.
+	WordBytes int
+	// Pipelined reports whether each lane accepts one work-item per
+	// cycle (configurations C1/C2 of Fig 5): the pipelined reading of
+	// the NTO·NI term, under which a lane's per-item cost is one cycle.
+	Pipelined bool
+}
+
+// CyclesPerItem is the effective per-work-item issue cost of one lane:
+// 1 for a pipelined lane, NTO·NI when the PE executes its instructions
+// sequentially (the C4 region of the design space).
+func (p Params) CyclesPerItem() float64 {
+	if p.Pipelined {
+		return 1
+	}
+	return p.NTO * float64(p.NI)
+}
+
+// Validate reports parameters the equations cannot accept.
+func (p Params) Validate() error {
+	switch {
+	case p.HPB <= 0 || p.GPB <= 0:
+		return fmt.Errorf("perf: peak bandwidths must be positive")
+	case p.RhoH <= 0 || p.RhoH > 1 || p.RhoG <= 0 || p.RhoG > 1:
+		return fmt.Errorf("perf: rho factors must be in (0,1], got rhoH=%v rhoG=%v", p.RhoH, p.RhoG)
+	case p.NGS <= 0:
+		return fmt.Errorf("perf: global size must be positive")
+	case p.NWPT <= 0 || p.WordBytes <= 0:
+		return fmt.Errorf("perf: words per tuple and word size must be positive")
+	case p.NKI <= 0:
+		return fmt.Errorf("perf: kernel-instance count must be positive")
+	case p.FD <= 0:
+		return fmt.Errorf("perf: device frequency must be positive")
+	case p.KNL <= 0 || p.DV <= 0:
+		return fmt.Errorf("perf: lanes and vectorisation must be positive")
+	case p.KPD < 0 || p.Noff < 0:
+		return fmt.Errorf("perf: pipeline depth and offset cannot be negative")
+	}
+	return nil
+}
+
+// Breakdown decomposes the kernel-instance execution time into the terms
+// of Equations 1-3, and identifies the limiting wall — the parameter the
+// paper's cost model "exposes ... allowing targeted optimization".
+type Breakdown struct {
+	HostXfer   float64 // host <-> device-DRAM transfer (amortised per instance)
+	OffsetFill float64 // offset stream buffer priming
+	PipeFill   float64 // pipeline fill
+	StreamDRAM float64 // streaming the NDRange through device DRAM
+	Compute    float64 // executing all work-items at FD across lanes
+	// Total is the per-kernel-instance time: the reciprocal of EKIT.
+	Total float64
+	// Limiter names the dominant steady-state term: "host-bandwidth",
+	// "dram-bandwidth" or "compute".
+	Limiter string
+}
+
+// EKIT evaluates the throughput expression for the given form
+// (Equations 1, 2, 3), returning kernel-instances per second and the
+// time breakdown.
+func (p Params) EKIT(form Form) (float64, Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return 0, Breakdown{}, err
+	}
+	var b Breakdown
+
+	totalBytes := float64(p.NGS) * float64(p.NWPT) * float64(p.WordBytes)
+
+	// Host transfer: every instance for form A; once over NKI instances
+	// for forms B and C.
+	b.HostXfer = totalBytes / (p.HPB * p.RhoH)
+	if form != FormA {
+		b.HostXfer /= float64(p.NKI)
+	}
+
+	// Offset priming and pipeline fill.
+	b.OffsetFill = float64(p.Noff) * float64(p.WordBytes) / (p.GPB * p.RhoG)
+	b.PipeFill = float64(p.KPD) / p.FD
+
+	// Steady-state: DRAM streaming vs compute.
+	b.StreamDRAM = totalBytes / (p.GPB * p.RhoG)
+	b.Compute = float64(p.NGS) * p.CyclesPerItem() / (p.FD * float64(p.KNL) * float64(p.DV))
+
+	steady := math.Max(b.StreamDRAM, b.Compute)
+	if form == FormC {
+		// On-chip working set: never DRAM-bound (Equation 3 keeps only
+		// the compute argument of the max).
+		steady = b.Compute
+		b.StreamDRAM = 0
+	}
+
+	b.Total = b.HostXfer + b.OffsetFill + b.PipeFill + steady
+
+	// The wall: compare the steady-state terms plus the amortised host
+	// cost. (The fill terms are one-off and cannot be a wall.)
+	b.Limiter = "compute"
+	worst := b.Compute
+	if form != FormC && b.StreamDRAM > worst {
+		b.Limiter = "dram-bandwidth"
+		worst = b.StreamDRAM
+	}
+	if b.HostXfer > worst {
+		b.Limiter = "host-bandwidth"
+	}
+
+	return 1 / b.Total, b, nil
+}
+
+// Workload describes how a kernel-instance is repeated and how large its
+// host working set is — the inputs to Extract that do not come from the
+// IR.
+type Workload struct {
+	// NKI is the number of kernel-instance repetitions (e.g. the SOR
+	// solver's nmaxp iteration count).
+	NKI int64
+	// DV is the degree of vectorisation per lane; 1 unless the variant
+	// vectorises.
+	DV int
+}
+
+// Extract assembles the Table I parameters for a costed design variant:
+// structural parameters from the estimate (which parsed the IR), peak
+// bandwidths from the target description, and rho scale factors from the
+// empirical bandwidth model, per stream access pattern and size
+// (Table I's "evaluation method" column).
+func Extract(est *costmodel.Estimate, bw *membw.Model, w Workload) (Params, error) {
+	if w.NKI <= 0 {
+		return Params{}, fmt.Errorf("perf: workload needs NKI >= 1, got %d", w.NKI)
+	}
+	dv := w.DV
+	if dv == 0 {
+		dv = 1
+	}
+	// A vectorised estimate carries its own DV; the workload may not
+	// contradict it.
+	if est.DV > 1 {
+		if w.DV > 1 && w.DV != est.DV {
+			return Params{}, fmt.Errorf("perf: workload DV %d contradicts the estimate's DV %d", w.DV, est.DV)
+		}
+		dv = est.DV
+	}
+	m := est.Module
+	lanes := est.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+
+	// Stream inventory: per-lane words per item, element size, and the
+	// channel-serialised effective DRAM bandwidth across all streams.
+	var (
+		wordBytes  int
+		totalBytes float64
+		chanTime   float64
+		ngs        int64
+	)
+	nports := 0
+	for _, port := range m.Ports {
+		so := m.Stream(port.Stream)
+		if so == nil {
+			return Params{}, fmt.Errorf("perf: port @%s has no stream object", port.Name)
+		}
+		mo := m.MemObject(so.Mem)
+		if mo == nil {
+			return Params{}, fmt.Errorf("perf: stream %%%s has no memory object", so.Name)
+		}
+		if port.Elem.Bytes() > wordBytes {
+			wordBytes = port.Elem.Bytes()
+		}
+		bytes := mo.Bytes()
+		sustained := bw.SustainedSteady(bytes, mo.Pattern)
+		if sustained <= 0 {
+			return Params{}, fmt.Errorf("perf: no sustained bandwidth for stream %%%s", so.Name)
+		}
+		totalBytes += float64(bytes)
+		chanTime += float64(bytes) / sustained
+		nports++
+		if port.Dir == tir.DirIn && mo.Size*int64(lanes) > ngs {
+			ngs = mo.Size * int64(lanes)
+		}
+	}
+	if nports == 0 || ngs == 0 {
+		return Params{}, fmt.Errorf("perf: design has no streams to extract parameters from")
+	}
+
+	t := est.Target
+	rhoG := (totalBytes / chanTime) / t.DRAM.PeakBandwidth
+	if rhoG > 1 {
+		rhoG = 1
+	}
+	rhoH := bw.RhoH(int64(totalBytes))
+
+	pipelined := est.Config == tir.ConfigPipe || est.Config == tir.ConfigParPipes ||
+		est.Config == tir.ConfigCoarsePipe || est.Config == tir.ConfigParCoarse
+
+	return Params{
+		HPB:       t.Link.PeakBandwidth,
+		RhoH:      rhoH,
+		GPB:       t.DRAM.PeakBandwidth,
+		RhoG:      rhoG,
+		NGS:       ngs,
+		NWPT:      nports / lanes,
+		NKI:       w.NKI,
+		Noff:      est.Noff,
+		KPD:       est.KPD,
+		FD:        est.FmaxHz,
+		NTO:       float64(est.NTO),
+		NI:        est.NI,
+		KNL:       lanes,
+		DV:        dv,
+		WordBytes: wordBytes,
+		Pipelined: pipelined,
+	}, nil
+}

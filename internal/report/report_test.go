@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Demo", "kernel", "ALUT", "err")
+	tab.AddRow("sor", 534, 1.123)
+	tab.AddRow("hotspot-long-name", 12, 0.5)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "kernel") {
+		t.Errorf("header = %q", lines[2])
+	}
+	// Columns align: the ALUT column starts at the same offset in every
+	// data row.
+	h := strings.Index(lines[2], "ALUT")
+	if !strings.HasPrefix(lines[4][h:], "534") && !strings.Contains(lines[4][h:h+6], "534") {
+		t.Errorf("misaligned column:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("plain", `quote"and,comma`)
+	csv := tab.CSV()
+	want := "a,b\nplain,\"quote\"\"and,comma\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.23456, "1.235"},
+		{123.456, "123.5"},
+		{1.5e9, "1.5e+09"},
+		{0.0001234, "0.000123"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPctErr(t *testing.T) {
+	cases := []struct {
+		est, actual, want float64
+	}{
+		{654, 652, 100 * 2.0 / 652},
+		{652, 652, 0},
+		{0, 0, 0},
+		{5, 0, 100},
+		{90, 100, 10},
+	}
+	for _, c := range cases {
+		got := PctErr(c.est, c.actual)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("PctErr(%v, %v) = %v, want %v", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestPctErrSymmetryProperty(t *testing.T) {
+	// Property: PctErr is non-negative and zero iff est == actual (for
+	// non-zero actuals).
+	f := func(est, actual int16) bool {
+		if actual == 0 {
+			return true
+		}
+		p := PctErr(float64(est), float64(actual))
+		if p < 0 {
+			return false
+		}
+		return (p == 0) == (est == actual)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(5.25); got != "5.2%" && got != "5.3%" {
+		t.Errorf("FormatPct = %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package roofline recasts the TyTra cost model as a roofline plot —
+// the "more useful representation" the paper flags as an open direction
+// (§I, citing da Silva et al.'s FPGA roofline extension). For FPGAs the
+// classic model needs two amendments, both computable from the Table I
+// parameters:
+//
+//   - the compute roof is not fixed: it scales with the lanes the device
+//     can hold, so each design variant has its own roof, capped by the
+//     computation wall;
+//   - the memory roof uses the *sustained* (ρ-scaled) bandwidth for the
+//     variant's access patterns, not the data-sheet peak.
+//
+// A variant's position against its roofs identifies the same limiting
+// wall as the EKIT breakdown, but in a form that compares variants and
+// devices at a glance.
+package roofline
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Point is one design variant in roofline coordinates.
+type Point struct {
+	// Intensity is the operational intensity: work-items per byte moved
+	// through the bounding memory level. (The natural FPGA unit is
+	// items/byte rather than flops/byte: a pipelined lane completes one
+	// work-item per cycle regardless of its instruction mix.)
+	Intensity float64
+	// Attainable is the attainable throughput in work-items/second:
+	// min(compute roof, intensity × memory roof).
+	Attainable float64
+	// ComputeRoof is the variant's own compute ceiling (FD·KNL·DV /
+	// cycles-per-item), items/second.
+	ComputeRoof float64
+	// MemRoofBytes is the sustained bandwidth of the bounding memory
+	// level, bytes/second.
+	MemRoofBytes float64
+	// MemoryBound reports whether the variant sits on the slanted part
+	// of its roofline.
+	MemoryBound bool
+}
+
+// FromParams computes the roofline coordinates of a costed variant
+// under the given memory-execution form. For form A the bounding level
+// is the host link; for form B the device DRAM; form C is compute-bound
+// by construction (infinite intensity).
+func FromParams(p perf.Params, form perf.Form) (Point, error) {
+	if err := p.Validate(); err != nil {
+		return Point{}, err
+	}
+	var pt Point
+	pt.ComputeRoof = p.FD * float64(p.KNL) * float64(p.DV) / p.CyclesPerItem()
+
+	bytesPerItem := float64(p.NWPT) * float64(p.WordBytes)
+	switch form {
+	case perf.FormA:
+		// Every kernel-instance re-streams over the link.
+		pt.MemRoofBytes = p.HPB * p.RhoH
+		pt.Intensity = 1 / bytesPerItem
+	case perf.FormB:
+		pt.MemRoofBytes = p.GPB * p.RhoG
+		pt.Intensity = 1 / bytesPerItem
+	case perf.FormC:
+		// On-chip working set: no off-chip traffic in steady state.
+		pt.MemRoofBytes = p.GPB * p.RhoG
+		pt.Intensity = 0 // rendered as "beyond the ridge" below
+		pt.Attainable = pt.ComputeRoof
+		return pt, nil
+	default:
+		return Point{}, fmt.Errorf("roofline: unknown form %v", form)
+	}
+
+	memBound := pt.Intensity * pt.MemRoofBytes
+	if memBound < pt.ComputeRoof {
+		pt.Attainable = memBound
+		pt.MemoryBound = true
+	} else {
+		pt.Attainable = pt.ComputeRoof
+	}
+	return pt, nil
+}
+
+// Ridge returns the ridge-point intensity of the variant's roofline:
+// the items/byte at which it transitions from memory- to compute-bound.
+func (p Point) Ridge() float64 {
+	if p.MemRoofBytes == 0 {
+		return 0
+	}
+	return p.ComputeRoof / p.MemRoofBytes
+}
+
+// String renders the point for reports.
+func (p Point) String() string {
+	kind := "compute-bound"
+	if p.MemoryBound {
+		kind = "memory-bound"
+	}
+	return fmt.Sprintf("I=%.4g items/B, attainable=%.4g items/s (roof %.4g, ridge %.4g) %s",
+		p.Intensity, p.Attainable, p.ComputeRoof, p.Ridge(), kind)
+}

@@ -1,0 +1,188 @@
+package tir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the IR surface syntax.
+type tokKind int
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // bare identifier / keyword / type name
+	tokLocal            // %name
+	tokGlobalID         // @name or @qual.name
+	tokInt              // decimal integer, optionally signed
+	tokString           // "..." (metadata strings)
+	tokPunct            // single punctuation rune: = ( ) { } , ! + -
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokLocal:
+		return "%name"
+	case tokGlobalID:
+		return "@name"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokPunct:
+		return "punctuation"
+	}
+	return "?token"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string // identifier text, number text, string contents, or punct
+	line int
+	col  int
+}
+
+// lexer produces tokens from IR source. Comments run from ';' to end of
+// line, as in LLVM.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenises the whole input up front; IR files are small so this is
+// simpler and faster than incremental lexing.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("tir: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || unicode.IsLetter(rune(c))
+}
+
+func isIdentRune(c byte) bool {
+	return c == '_' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ';':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		start.kind = tokEOF
+		return start, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '%' || c == '@':
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peekByte()) {
+			sb.WriteByte(l.advance())
+		}
+		if sb.Len() == 0 {
+			return start, l.errf("expected name after %q", string(c))
+		}
+		if c == '%' {
+			start.kind = tokLocal
+		} else {
+			start.kind = tokGlobalID
+		}
+		start.text = sb.String()
+		return start, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return start, l.errf("unterminated string")
+			}
+			b := l.advance()
+			if b == '"' {
+				break
+			}
+			sb.WriteByte(b)
+		}
+		start.kind = tokString
+		start.text = sb.String()
+		return start, nil
+	case unicode.IsDigit(rune(c)):
+		var sb strings.Builder
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+			sb.WriteByte(l.advance())
+		}
+		start.kind = tokInt
+		start.text = sb.String()
+		return start, nil
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peekByte()) {
+			sb.WriteByte(l.advance())
+		}
+		start.kind = tokIdent
+		start.text = sb.String()
+		return start, nil
+	case strings.IndexByte("=(){},!+-*", c) >= 0:
+		l.advance()
+		start.kind = tokPunct
+		start.text = string(c)
+		return start, nil
+	default:
+		return start, l.errf("unexpected character %q", string(c))
+	}
+}

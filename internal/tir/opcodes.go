@@ -1,0 +1,251 @@
+package tir
+
+import "fmt"
+
+// Opcode enumerates the primitive SSA instructions of the Compute-IR.
+// The set mirrors the LLVM integer/float arithmetic the paper's IR is
+// based on, restricted to what a streaming FPGA datapath supports.
+type Opcode int
+
+const (
+	OpAdd Opcode = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLshr
+	OpAshr
+	OpMin
+	OpMax
+	// Unary ops.
+	OpAbs
+	OpNot
+	OpRecip // fixed-point reciprocal approximation unit
+	OpSqrt
+	// Float ops.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	numOpcodes
+)
+
+// OpInfo is the static description of an opcode: its spelling, arity,
+// type family, and the pipeline latency (in stages) of the functional
+// unit the back-end instantiates for it. Latency is a property of the
+// generated microarchitecture, so it lives with the IR rather than the
+// cost model; the cost model and the pipeline simulator must agree on it
+// for CPKI estimates to be honest.
+type OpInfo struct {
+	Name    string
+	Arity   int
+	Float   bool // operates on float types (else integer)
+	Latency func(bits int) int
+}
+
+var opTable = [numOpcodes]OpInfo{
+	OpAdd:   {Name: "add", Arity: 2, Latency: func(int) int { return 1 }},
+	OpSub:   {Name: "sub", Arity: 2, Latency: func(int) int { return 1 }},
+	OpMul:   {Name: "mul", Arity: 2, Latency: func(bits int) int { return 2 + bits/32 }},
+	OpDiv:   {Name: "div", Arity: 2, Latency: func(bits int) int { return bits }},
+	OpRem:   {Name: "rem", Arity: 2, Latency: func(bits int) int { return bits }},
+	OpAnd:   {Name: "and", Arity: 2, Latency: func(int) int { return 1 }},
+	OpOr:    {Name: "or", Arity: 2, Latency: func(int) int { return 1 }},
+	OpXor:   {Name: "xor", Arity: 2, Latency: func(int) int { return 1 }},
+	OpShl:   {Name: "shl", Arity: 2, Latency: func(int) int { return 1 }},
+	OpLshr:  {Name: "lshr", Arity: 2, Latency: func(int) int { return 1 }},
+	OpAshr:  {Name: "ashr", Arity: 2, Latency: func(int) int { return 1 }},
+	OpMin:   {Name: "min", Arity: 2, Latency: func(int) int { return 1 }},
+	OpMax:   {Name: "max", Arity: 2, Latency: func(int) int { return 1 }},
+	OpAbs:   {Name: "abs", Arity: 1, Latency: func(int) int { return 1 }},
+	OpNot:   {Name: "not", Arity: 1, Latency: func(int) int { return 1 }},
+	OpRecip: {Name: "recip", Arity: 1, Latency: func(bits int) int { return bits/2 + 2 }},
+	OpSqrt:  {Name: "sqrt", Arity: 1, Latency: func(bits int) int { return bits/2 + 4 }},
+	OpFAdd:  {Name: "fadd", Arity: 2, Float: true, Latency: func(int) int { return 7 }},
+	OpFSub:  {Name: "fsub", Arity: 2, Float: true, Latency: func(int) int { return 7 }},
+	OpFMul:  {Name: "fmul", Arity: 2, Float: true, Latency: func(int) int { return 5 }},
+	OpFDiv:  {Name: "fdiv", Arity: 2, Float: true, Latency: func(bits int) int { return 14 + bits/8 }},
+}
+
+// Info returns the static description of op.
+func (op Opcode) Info() OpInfo {
+	if op < 0 || op >= numOpcodes {
+		return OpInfo{Name: fmt.Sprintf("?op(%d)", int(op)), Arity: 2, Latency: func(int) int { return 1 }}
+	}
+	return opTable[op]
+}
+
+// String returns the IR spelling of the opcode.
+func (op Opcode) String() string { return op.Info().Name }
+
+// Latency returns the pipeline depth of the functional unit for op at
+// the given operand width.
+func (op Opcode) Latency(bits int) int { return op.Info().Latency(bits) }
+
+// ParseOpcode resolves an opcode spelling. The boolean reports success.
+func ParseOpcode(name string) (Opcode, bool) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if opTable[op].Name == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// EvalBin evaluates a binary opcode on width-wrapped integer values,
+// reproducing the behaviour of the generated fixed-width hardware.
+// Division and remainder by zero return all-ones / the dividend
+// respectively, matching the saturating behaviour of the generated
+// divider (hardware has no traps). Shifts use only the low bits of the
+// shift amount, as the hardware barrel shifter does.
+func EvalBin(op Opcode, ty Type, a, b int64) (int64, error) {
+	wrap := ty.Wrap
+	switch op {
+	case OpAdd:
+		return wrap(a + b), nil
+	case OpSub:
+		return wrap(a - b), nil
+	case OpMul:
+		return wrap(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return wrap(int64(ty.Mask())), nil
+		}
+		if ty.Kind == UInt {
+			return wrap(int64(uint64(a) & ty.Mask() / (uint64(b) & ty.Mask()))), nil
+		}
+		return wrap(a / b), nil
+	case OpRem:
+		if b == 0 {
+			return wrap(a), nil
+		}
+		if ty.Kind == UInt {
+			return wrap(int64(uint64(a) & ty.Mask() % (uint64(b) & ty.Mask()))), nil
+		}
+		return wrap(a % b), nil
+	case OpAnd:
+		return wrap(a & b), nil
+	case OpOr:
+		return wrap(a | b), nil
+	case OpXor:
+		return wrap(a ^ b), nil
+	case OpShl:
+		return wrap(a << (uint64(b) & 63)), nil
+	case OpLshr:
+		return wrap(int64((uint64(a) & ty.Mask()) >> (uint64(b) & 63))), nil
+	case OpAshr:
+		return wrap(a >> (uint64(b) & 63)), nil
+	case OpMin:
+		if less(ty, a, b) {
+			return wrap(a), nil
+		}
+		return wrap(b), nil
+	case OpMax:
+		if less(ty, a, b) {
+			return wrap(b), nil
+		}
+		return wrap(a), nil
+	}
+	return 0, fmt.Errorf("tir: EvalBin: %s is not a binary integer opcode", op)
+}
+
+// EvalUn evaluates a unary opcode on a width-wrapped integer value.
+func EvalUn(op Opcode, ty Type, a int64) (int64, error) {
+	switch op {
+	case OpAbs:
+		if ty.Kind == SInt && a < 0 {
+			return ty.Wrap(-a), nil
+		}
+		return ty.Wrap(a), nil
+	case OpNot:
+		return ty.Wrap(^a), nil
+	case OpRecip:
+		// Fixed-point reciprocal: floor(2^(bits-1)/a), the behaviour of
+		// the generated lookup-and-refine unit.
+		if a == 0 {
+			return ty.Wrap(int64(ty.Mask())), nil
+		}
+		return ty.Wrap((int64(1) << uint(ty.Bits-1)) / a), nil
+	case OpSqrt:
+		if a <= 0 {
+			return 0, nil
+		}
+		return ty.Wrap(isqrt(uint64(a) & ty.Mask())), nil
+	}
+	return 0, fmt.Errorf("tir: EvalUn: %s is not a unary integer opcode", op)
+}
+
+// EvalCmp evaluates a comparison predicate on width-wrapped values,
+// returning 0 or 1. As in LLVM, the signedness lives in the predicate,
+// not the type: an s-predicate reinterprets the operand bit patterns as
+// two's-complement at the operand width, whatever the type's kind.
+func EvalCmp(pred string, ty Type, a, b int64) (int64, error) {
+	ua, ub := uint64(a)&ty.Mask(), uint64(b)&ty.Mask()
+	signed := SIntT(ty.Bits)
+	if ty.IsFloat() {
+		signed = ty
+	}
+	sa, sb := signed.Wrap(a), signed.Wrap(b)
+	toI := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch pred {
+	case "eq":
+		return toI(ua == ub), nil
+	case "ne":
+		return toI(ua != ub), nil
+	case "ult":
+		return toI(ua < ub), nil
+	case "ule":
+		return toI(ua <= ub), nil
+	case "ugt":
+		return toI(ua > ub), nil
+	case "uge":
+		return toI(ua >= ub), nil
+	case "slt":
+		return toI(sa < sb), nil
+	case "sle":
+		return toI(sa <= sb), nil
+	case "sgt":
+		return toI(sa > sb), nil
+	case "sge":
+		return toI(sa >= sb), nil
+	}
+	return 0, fmt.Errorf("tir: invalid icmp predicate %q", pred)
+}
+
+// ValidCmpPred reports whether pred is a legal icmp predicate.
+func ValidCmpPred(pred string) bool {
+	_, err := EvalCmp(pred, UIntT(8), 0, 0)
+	return err == nil || pred == "eq" // EvalCmp only errors on bad predicates
+}
+
+// isqrt computes the integer square root by Newton's method.
+func isqrt(v uint64) int64 {
+	if v == 0 {
+		return 0
+	}
+	x := v
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + v/x) / 2
+	}
+	return int64(x)
+}
+
+// less compares with the signedness of ty.
+func less(ty Type, a, b int64) bool {
+	if ty.Kind == UInt {
+		return uint64(a)&ty.Mask() < uint64(b)&ty.Mask()
+	}
+	return ty.Wrap(a) < ty.Wrap(b)
+}

@@ -1,0 +1,261 @@
+package tir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, s := range []string{"ui1", "ui18", "ui64", "i8", "i32", "f32", "f64"} {
+		ty, err := ParseType(s)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", s, err)
+			continue
+		}
+		if ty.String() != s {
+			t.Errorf("round trip %q -> %q", s, ty.String())
+		}
+	}
+}
+
+func TestParseTypeRejects(t *testing.T) {
+	for _, s := range []string{"", "u18", "ui0", "ui65", "f16", "f", "i", "ui", "x32", "i-3", "f33"} {
+		if _, err := ParseType(s); err == nil {
+			t.Errorf("ParseType(%q) accepted", s)
+		}
+	}
+}
+
+func TestTypeValid(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want bool
+	}{
+		{UIntT(1), true}, {UIntT(64), true}, {UIntT(0), false}, {UIntT(65), false},
+		{SIntT(18), true}, {FloatT(32), true}, {FloatT(64), true}, {FloatT(16), false},
+		{Type{}, false},
+	}
+	for _, c := range cases {
+		if got := c.ty.Valid(); got != c.want {
+			t.Errorf("%v.Valid() = %v, want %v", c.ty, got, c.want)
+		}
+	}
+}
+
+func TestWrapUnsigned(t *testing.T) {
+	ty := UIntT(18)
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{1, 1},
+		{1 << 18, 0},
+		{(1 << 18) + 5, 5},
+		{-1, (1 << 18) - 1},
+	}
+	for _, c := range cases {
+		if got := ty.Wrap(c.in); got != c.want {
+			t.Errorf("ui18.Wrap(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapSigned(t *testing.T) {
+	ty := SIntT(8)
+	cases := []struct{ in, want int64 }{
+		{127, 127}, {128, -128}, {-129, 127}, {255, -1}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := ty.Wrap(c.in); got != c.want {
+			t.Errorf("i8.Wrap(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapIdempotentProperty(t *testing.T) {
+	f := func(v int64, bitsRaw uint8) bool {
+		bits := int(bitsRaw)%64 + 1
+		for _, ty := range []Type{UIntT(bits), SIntT(bits)} {
+			w := ty.Wrap(v)
+			if ty.Wrap(w) != w {
+				return false
+			}
+			// Unsigned wrap lands in [0, 2^bits) (range check only while
+			// 2^bits fits in int64).
+			if ty.Kind == UInt && bits < 63 && (w < 0 || w >= int64(1)<<uint(bits)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want int
+	}{
+		{UIntT(1), 1}, {UIntT(8), 1}, {UIntT(9), 2}, {UIntT(18), 3}, {UIntT(32), 4}, {UIntT(64), 8},
+	}
+	for _, c := range cases {
+		if got := c.ty.Bytes(); got != c.want {
+			t.Errorf("%v.Bytes() = %d, want %d", c.ty, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinWrapsLikeHardware(t *testing.T) {
+	ty := UIntT(18)
+	cases := []struct {
+		op   Opcode
+		a, b int64
+		want int64
+	}{
+		{OpAdd, (1 << 18) - 1, 1, 0},    // carry out is dropped
+		{OpSub, 0, 1, (1 << 18) - 1},    // borrow wraps
+		{OpMul, 513, 513, 1025},         // 263169 mod 2^18
+		{OpDiv, 100, 7, 14},             // integer division
+		{OpDiv, 5, 0, (1 << 18) - 1},    // div by zero saturates
+		{OpRem, 100, 7, 2},              //
+		{OpRem, 5, 0, 5},                // rem by zero returns dividend
+		{OpShl, 3, 17, 1 << 17},         // 3<<17 mod 2^18
+		{OpLshr, 1 << 17, 16, 2},        //
+		{OpMin, 5, 9, 5},                //
+		{OpMax, 5, 9, 9},                //
+		{OpAnd, 0b1100, 0b1010, 0b1000}, //
+		{OpOr, 0b1100, 0b1010, 0b1110},  //
+		{OpXor, 0b1100, 0b1010, 0b0110}, //
+	}
+	for _, c := range cases {
+		got, err := EvalBin(c.op, ty, c.a, c.b)
+		if err != nil {
+			t.Errorf("%v(%d,%d): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinRejectsUnary(t *testing.T) {
+	if _, err := EvalBin(OpAbs, UIntT(8), 1, 2); err == nil {
+		t.Error("EvalBin(abs) accepted")
+	}
+}
+
+func TestEvalUn(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		ty   Type
+		a    int64
+		want int64
+	}{
+		{OpAbs, SIntT(8), -5, 5},
+		{OpAbs, UIntT(8), 200, 200},
+		{OpNot, UIntT(4), 0b0101, 0b1010},
+		{OpSqrt, UIntT(18), 144, 12},
+		{OpSqrt, UIntT(18), 0, 0},
+		{OpRecip, UIntT(16), 2, 1 << 14}, // 2^15 / 2
+		{OpRecip, UIntT(16), 0, (1 << 16) - 1},
+	}
+	for _, c := range cases {
+		got, err := EvalUn(c.op, c.ty, c.a)
+		if err != nil {
+			t.Errorf("%v(%d): %v", c.op, c.a, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v(%d) = %d, want %d", c.op, c.a, got, c.want)
+		}
+	}
+	if _, err := EvalUn(OpAdd, UIntT(8), 1); err == nil {
+		t.Error("EvalUn(add) accepted")
+	}
+}
+
+func TestEvalBinCommutativityProperty(t *testing.T) {
+	ty := UIntT(18)
+	f := func(a, b int64) bool {
+		for _, op := range []Opcode{OpAdd, OpMul, OpAnd, OpOr, OpXor, OpMin, OpMax} {
+			x, err1 := EvalBin(op, ty, ty.Wrap(a), ty.Wrap(b))
+			y, err2 := EvalBin(op, ty, ty.Wrap(b), ty.Wrap(a))
+			if err1 != nil || err2 != nil || x != y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsqrtProperty(t *testing.T) {
+	// Property: isqrt(v)^2 <= v < (isqrt(v)+1)^2.
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		q, err := EvalUn(OpSqrt, UIntT(64), v)
+		if err != nil {
+			return false
+		}
+		return q*q <= v && (q+1)*(q+1) > v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalCmp(t *testing.T) {
+	ty := UIntT(8)
+	cases := []struct {
+		pred string
+		a, b int64
+		want int64
+	}{
+		{"eq", 5, 5, 1}, {"ne", 5, 5, 0},
+		{"ult", 5, 9, 1}, {"ugt", 5, 9, 0},
+		{"ule", 5, 5, 1}, {"uge", 4, 5, 0},
+		// 255 as i8 is -1: signed and unsigned orders disagree.
+		{"ult", 1, 255, 1}, {"slt", 1, 255, 0}, {"sgt", 1, 255, 1},
+		{"sle", 255, 0, 1}, {"sge", 255, 0, 0},
+	}
+	for _, c := range cases {
+		got, err := EvalCmp(c.pred, ty, c.a, c.b)
+		if err != nil {
+			t.Errorf("%s(%d,%d): %v", c.pred, c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.pred, c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := EvalCmp("weird", ty, 0, 0); err == nil {
+		t.Error("invalid predicate accepted")
+	}
+}
+
+func TestParseOpcode(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		got, ok := ParseOpcode(op.String())
+		if !ok || got != op {
+			t.Errorf("opcode %v does not round trip", op)
+		}
+	}
+	if _, ok := ParseOpcode("frobnicate"); ok {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestOpcodeLatencies(t *testing.T) {
+	if OpAdd.Latency(18) != 1 {
+		t.Error("add should be single-cycle")
+	}
+	if OpDiv.Latency(18) != 18 {
+		t.Error("divider latency should equal its width (one stage per bit)")
+	}
+	if OpMul.Latency(64) <= OpMul.Latency(16) {
+		t.Error("wide multipliers need more stages")
+	}
+}

@@ -1,0 +1,442 @@
+package tir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate performs the semantic checks of the TyTra compiler front
+// stage: SSA single assignment, def-before-use, type agreement, the
+// Manage-IR / Compute-IR linkage (every port backed by a stream object
+// backed by a memory object), acyclic call hierarchy, and configuration
+// legality (Fig 7: the supported parent/child mode combinations).
+func (m *Module) Validate() error {
+	if len(m.Funcs) == 0 {
+		return fmt.Errorf("tir: module %s has no functions", m.Name)
+	}
+	if m.Main() == nil {
+		return fmt.Errorf("tir: module %s has no @main entry function", m.Name)
+	}
+
+	// Manage-IR linkage.
+	memNames := map[string]bool{}
+	for _, mo := range m.MemObjects {
+		if memNames[mo.Name] {
+			return fmt.Errorf("tir: duplicate memory object %%%s", mo.Name)
+		}
+		memNames[mo.Name] = true
+		if mo.Size <= 0 {
+			return fmt.Errorf("tir: memory object %%%s has non-positive size %d", mo.Name, mo.Size)
+		}
+		if !mo.Elem.Valid() {
+			return fmt.Errorf("tir: memory object %%%s has invalid element type", mo.Name)
+		}
+		if mo.Pattern == PatternStrided && mo.Stride <= 0 {
+			return fmt.Errorf("tir: strided memory object %%%s needs a positive stride", mo.Name)
+		}
+	}
+	strNames := map[string]*StreamObject{}
+	for _, so := range m.Streams {
+		if _, dup := strNames[so.Name]; dup {
+			return fmt.Errorf("tir: duplicate stream object %%%s", so.Name)
+		}
+		strNames[so.Name] = so
+		if !memNames[so.Mem] {
+			return fmt.Errorf("tir: stream object %%%s references unknown memory object %%%s", so.Name, so.Mem)
+		}
+	}
+	portNames := map[string]bool{}
+	for _, p := range m.Ports {
+		if portNames[p.Name] {
+			return fmt.Errorf("tir: duplicate port @%s", p.Name)
+		}
+		portNames[p.Name] = true
+		if !p.Elem.Valid() {
+			return fmt.Errorf("tir: port @%s has invalid element type", p.Name)
+		}
+		so, ok := strNames[p.Stream]
+		if !ok {
+			return fmt.Errorf("tir: port @%s references unknown stream object %q", p.Name, p.Stream)
+		}
+		if so.Dir != p.Dir {
+			return fmt.Errorf("tir: port @%s direction %s disagrees with stream %%%s direction %s",
+				p.Name, p.Dir, so.Name, so.Dir)
+		}
+		if p.Pattern == PatternStrided && p.Stride <= 0 {
+			return fmt.Errorf("tir: strided port @%s needs a positive stride", p.Name)
+		}
+	}
+
+	// Function-level checks.
+	fnNames := map[string]*Function{}
+	for _, f := range m.Funcs {
+		if _, dup := fnNames[f.Name]; dup {
+			return fmt.Errorf("tir: duplicate function @%s", f.Name)
+		}
+		fnNames[f.Name] = f
+	}
+	for _, f := range m.Funcs {
+		if err := m.validateBody(f, fnNames); err != nil {
+			return err
+		}
+	}
+
+	// Acyclic call hierarchy reachable from main.
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(name string, chain []string) error
+	visit = func(name string, chain []string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("tir: recursive call cycle: %s -> %s", strings.Join(chain, " -> "), name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		f := fnNames[name]
+		for _, c := range f.Calls() {
+			if _, ok := fnNames[c.Callee]; !ok {
+				return fmt.Errorf("tir: @%s calls unknown function @%s", name, c.Callee)
+			}
+			if err := visit(c.Callee, append(chain, name)); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		return nil
+	}
+	if err := visit("main", nil); err != nil {
+		return err
+	}
+
+	// Configuration legality per Fig 7.
+	if _, err := m.ConfigTree(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateBody checks SSA discipline and operand visibility inside one
+// function. Visible names are the function parameters and prior
+// definitions; global accumulators (@x) are visible everywhere and may
+// be read and re-accumulated but not used as plain locals.
+func (m *Module) validateBody(f *Function, fns map[string]*Function) error {
+	defined := map[string]Type{}
+	paramTypes := map[string]Type{}
+	outBound := map[string]bool{}
+	for _, p := range f.Params {
+		paramTypes[p.Name] = p.Ty
+		if !p.Ty.Valid() {
+			return fmt.Errorf("tir: @%s: parameter %%%s has invalid type", f.Name, p.Name)
+		}
+		if _, dup := defined[p.Name]; dup {
+			return fmt.Errorf("tir: @%s: duplicate parameter %%%s", f.Name, p.Name)
+		}
+		defined[p.Name] = p.Ty
+	}
+	define := func(name string, ty Type) error {
+		if name == "" {
+			return nil
+		}
+		if _, dup := defined[name]; dup {
+			return fmt.Errorf("tir: @%s: SSA violation: %%%s assigned twice", f.Name, name)
+		}
+		defined[name] = ty
+		return nil
+	}
+	checkUse := func(o Operand) error {
+		switch o.Kind {
+		case OpReg:
+			if _, ok := defined[o.Name]; !ok {
+				return fmt.Errorf("tir: @%s: use of undefined value %%%s", f.Name, o.Name)
+			}
+		case OpGlobal, OpImm:
+			// Globals are module-level accumulators, always visible.
+		}
+		return nil
+	}
+
+	hasDatapath := false
+	for _, in := range f.Body {
+		if _, isCall := in.(*CallInstr); !isCall {
+			for _, u := range in.Uses() {
+				if err := checkUse(u); err != nil {
+					return err
+				}
+			}
+		}
+		switch it := in.(type) {
+		case *CallInstr:
+			callee, ok := fns[it.Callee]
+			if !ok {
+				return fmt.Errorf("tir: @%s calls unknown function @%s", f.Name, it.Callee)
+			}
+			if len(it.Args) != len(callee.Params) {
+				return fmt.Errorf("tir: @%s: call @%s with %d args, want %d",
+					f.Name, it.Callee, len(it.Args), len(callee.Params))
+			}
+			if it.Mode != callee.Mode {
+				return fmt.Errorf("tir: @%s: call @%s with mode %s, function is %s",
+					f.Name, it.Callee, it.Mode, callee.Mode)
+			}
+			// A comb child is a custom combinatorial block inlined in the
+			// parent datapath (Fig 7 configuration 1, Fig 8): arguments
+			// that the child binds with `out` are wires the call DEFINES
+			// in the parent; the rest are read. All other call modes wire
+			// top-level ports (globals), which are always visible.
+			if it.Mode == ModeComb {
+				outs := callee.OutParams()
+				for k, a := range it.Args {
+					if a.Kind != OpReg {
+						if a.Kind == OpImm && outs[callee.Params[k].Name] {
+							return fmt.Errorf("tir: @%s: call @%s drives an immediate operand", f.Name, it.Callee)
+						}
+						continue
+					}
+					if outs[callee.Params[k].Name] {
+						if err := define(a.Name, callee.Params[k].Ty); err != nil {
+							return err
+						}
+					} else if err := checkUse(a); err != nil {
+						return err
+					}
+				}
+			}
+		case *OffsetInstr:
+			hasDatapath = true
+			if it.Src.Kind == OpImm {
+				return fmt.Errorf("tir: @%s: offset source must be a stream value", f.Name)
+			}
+			if it.Offset == 0 {
+				return fmt.Errorf("tir: @%s: offset of 0 is meaningless for %%%s", f.Name, it.Dst)
+			}
+			if err := define(it.Dst, it.Ty); err != nil {
+				return err
+			}
+		case *ConstInstr:
+			hasDatapath = true
+			if err := define(it.Dst, it.Ty); err != nil {
+				return err
+			}
+		case *BinInstr:
+			hasDatapath = true
+			info := it.Op.Info()
+			if info.Float != it.Ty.IsFloat() {
+				return fmt.Errorf("tir: @%s: opcode %s applied to type %s", f.Name, it.Op, it.Ty)
+			}
+			if it.GlobalDst {
+				// Reduction idiom: destination accumulator must also be
+				// read by the instruction.
+				reads := false
+				for _, u := range it.Uses() {
+					if u.Kind == OpGlobal && u.Name == it.Dst {
+						reads = true
+					}
+				}
+				if !reads {
+					return fmt.Errorf("tir: @%s: global @%s written without accumulation", f.Name, it.Dst)
+				}
+			} else if err := define(it.Dst, it.Ty); err != nil {
+				return err
+			}
+		case *UnInstr:
+			hasDatapath = true
+			info := it.Op.Info()
+			if info.Float != it.Ty.IsFloat() {
+				return fmt.Errorf("tir: @%s: opcode %s applied to type %s", f.Name, it.Op, it.Ty)
+			}
+			if err := define(it.Dst, it.Ty); err != nil {
+				return err
+			}
+		case *CmpInstr:
+			hasDatapath = true
+			if err := define(it.Dst, UIntT(1)); err != nil {
+				return err
+			}
+		case *SelectInstr:
+			hasDatapath = true
+			if err := define(it.Dst, it.Ty); err != nil {
+				return err
+			}
+		case *OutInstr:
+			hasDatapath = true
+			pty, ok := paramTypes[it.Port]
+			if !ok {
+				return fmt.Errorf("tir: @%s: out to %%%s which is not a parameter", f.Name, it.Port)
+			}
+			if pty != it.Ty {
+				return fmt.Errorf("tir: @%s: out to %%%s with type %s, parameter is %s",
+					f.Name, it.Port, it.Ty, pty)
+			}
+			if outBound[it.Port] {
+				return fmt.Errorf("tir: @%s: output port %%%s bound twice", f.Name, it.Port)
+			}
+			outBound[it.Port] = true
+		default:
+			return fmt.Errorf("tir: @%s: unknown instruction %T", f.Name, in)
+		}
+	}
+
+	// Mode-specific structural rules (Fig 7 configurations).
+	switch f.Mode {
+	case ModePar:
+		if hasDatapath {
+			return fmt.Errorf("tir: @%s: par functions may only contain calls", f.Name)
+		}
+		for _, c := range f.Calls() {
+			if c.Mode != ModePipe {
+				return fmt.Errorf("tir: @%s: par functions replicate pipe children, found %s", f.Name, c.Mode)
+			}
+		}
+	case ModeComb:
+		for range f.Calls() {
+			return fmt.Errorf("tir: @%s: comb functions must be pure datapath (no calls)", f.Name)
+		}
+	}
+	return nil
+}
+
+// ConfigNode is one node of the configuration tree the compiler extracts
+// from the IR (Fig 8): the architecture implied by the function
+// hierarchy and call modes.
+type ConfigNode struct {
+	Func     *Function
+	Mode     ParMode
+	Children []*ConfigNode
+	// Lanes is the replication factor this node contributes: for a par
+	// node, the number of pipe children.
+	Lanes int
+}
+
+// Config classifies whole-design configurations following Fig 7.
+type Config int
+
+const (
+	// ConfigPipe is configuration 1: a single pipeline, possibly with
+	// comb sub-blocks.
+	ConfigPipe Config = iota + 1
+	// ConfigParPipes is configuration 2: data-parallel pipeline lanes.
+	ConfigParPipes
+	// ConfigCoarsePipe is configuration 3: a coarse-grained pipeline of
+	// peer pipe kernels.
+	ConfigCoarsePipe
+	// ConfigParCoarse is configuration 4: data-parallel coarse-grained
+	// pipelines.
+	ConfigParCoarse
+	// ConfigSeq is a host-sequenced composition of the above.
+	ConfigSeq
+)
+
+// String names the configuration as in Fig 7.
+func (c Config) String() string {
+	switch c {
+	case ConfigPipe:
+		return "C1:pipeline"
+	case ConfigParPipes:
+		return "C2:data-parallel-pipelines"
+	case ConfigCoarsePipe:
+		return "C3:coarse-grained-pipeline"
+	case ConfigParCoarse:
+		return "C4:data-parallel-coarse-pipelines"
+	case ConfigSeq:
+		return "C0:sequenced"
+	}
+	return "C?:unknown"
+}
+
+// ConfigTree builds the configuration tree rooted at @main and verifies
+// that the composition is one the compiler supports.
+func (m *Module) ConfigTree() (*ConfigNode, error) {
+	fns := map[string]*Function{}
+	for _, f := range m.Funcs {
+		fns[f.Name] = f
+	}
+	var build func(f *Function) (*ConfigNode, error)
+	build = func(f *Function) (*ConfigNode, error) {
+		n := &ConfigNode{Func: f, Mode: f.Mode, Lanes: 1}
+		for _, c := range f.Calls() {
+			child, err := build(fns[c.Callee])
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		}
+		if f.Mode == ModePar {
+			n.Lanes = len(n.Children)
+			if n.Lanes == 0 {
+				return nil, fmt.Errorf("tir: @%s: par function with no lanes", f.Name)
+			}
+			first := n.Children[0].Func.Name
+			for _, c := range n.Children[1:] {
+				if c.Func.Name != first {
+					return nil, fmt.Errorf("tir: @%s: par lanes must replicate one kernel (found @%s and @%s)",
+						f.Name, first, c.Func.Name)
+				}
+			}
+		}
+		return n, nil
+	}
+	return build(m.Main())
+}
+
+// Classify names the Fig 7 configuration of the design.
+func (m *Module) Classify() (Config, error) {
+	tree, err := m.ConfigTree()
+	if err != nil {
+		return 0, err
+	}
+	// Skip the main(seq) wrapper: classification concerns the device
+	// architecture below it.
+	node := tree
+	if node.Mode == ModeSeq && len(node.Children) == 1 {
+		node = node.Children[0]
+	} else if node.Mode == ModeSeq && len(node.Children) > 1 {
+		return ConfigSeq, nil
+	}
+	switch node.Mode {
+	case ModePipe:
+		for _, c := range node.Children {
+			if c.Mode == ModePipe {
+				return ConfigCoarsePipe, nil
+			}
+		}
+		return ConfigPipe, nil
+	case ModePar:
+		for _, lane := range node.Children {
+			for _, c := range lane.Children {
+				if c.Mode == ModePipe {
+					return ConfigParCoarse, nil
+				}
+			}
+		}
+		return ConfigParPipes, nil
+	case ModeComb:
+		return ConfigPipe, nil
+	}
+	return ConfigSeq, nil
+}
+
+// Lanes returns KNL, the number of parallel kernel lanes of the design:
+// the product of par replication factors along the hierarchy (1 for a
+// single pipeline).
+func (m *Module) Lanes() int {
+	tree, err := m.ConfigTree()
+	if err != nil {
+		return 1
+	}
+	var walk func(n *ConfigNode) int
+	walk = func(n *ConfigNode) int {
+		if n.Mode == ModePar {
+			// All lanes are identical; replication factor times the
+			// lanes inside one child.
+			return n.Lanes * walk(n.Children[0])
+		}
+		best := 1
+		for _, c := range n.Children {
+			if l := walk(c); l > best {
+				best = l
+			}
+		}
+		return best
+	}
+	return walk(tree)
+}
