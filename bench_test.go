@@ -8,11 +8,14 @@
 package repro
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/costmodel"
 	"repro/internal/device"
+	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/hlsbase"
@@ -307,6 +310,54 @@ func BenchmarkSynthesisSubstrate(b *testing.B) {
 		if _, err := s.Synthesize(m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineSweep prices the unified DSE engine on a 3-axis
+// space (16 lanes × 3 vectorisation degrees × forms A and B = 96
+// points) serially and with the full worker pool: the j=N/j=1 ns/op
+// ratio is the parallel-exploration speedup the engine buys on this
+// host. Each iteration builds a fresh engine so the memoised cache
+// starts cold.
+func BenchmarkEngineSweep(b *testing.B) {
+	target := device.GSD8Edu()
+	mdl, err := costmodel.Calibrate(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw, err := membw.Build(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(lanes int) (*tir.Module, error) {
+		return kernels.SORSpec{IM: 15, JM: 10, KM: 96096, Lanes: lanes}.Module()
+	}
+	space, err := dse.NewSpace(
+		dse.LanesAxis(dse.LaneCounts(16)),
+		dse.DVAxis([]int{1, 2, 4}),
+		dse.FormAxis(perf.FormA, perf.FormB),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jmax := runtime.GOMAXPROCS(0)
+	if jmax < 4 {
+		jmax = 4 // keep the parallel arm distinct on small containers
+	}
+	for _, j := range []int{1, jmax} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			var res *dse.Result
+			for i := 0; i < b.N; i++ {
+				eng := dse.NewEngine(space,
+					dse.NewEvaluator(mdl, bw, build, perf.Workload{NKI: 10}, perf.FormB), j)
+				res, err = eng.Run(dse.Exhaustive{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Points)), "points")
+			b.ReportMetric(float64(res.Best.Lanes), "best_lanes")
+		})
 	}
 }
 

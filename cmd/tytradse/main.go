@@ -1,11 +1,21 @@
 // Command tytradse runs the design-space exploration of §VI-A: it
 // generates the lane-count variant family of a built-in kernel (the
-// reshapeTo transformations of §II), costs every variant, and prints the
-// Fig 15-style sweep with the walls and the selected best design.
+// reshapeTo transformations of §II), costs every variant through the
+// parallel DSE engine, and prints the Fig 15-style sweep with the
+// walls and the selected best design.
 //
 // Usage:
 //
-//	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10] [-csv]
+//	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
+//	         [-strategy exhaustive|wall-pruned|pareto] [-j N] [-csv]
+//
+// The -strategy flag selects the exploration strategy: "exhaustive"
+// costs every variant, "wall-pruned" stops the lane sweep once a
+// compute/host/DRAM wall of Fig 15 is crossed and throughput has
+// saturated, and "pareto" additionally reports the
+// throughput-versus-utilisation frontier. -j sets the number of
+// parallel evaluation workers (0 = all CPUs); the engine is
+// deterministic, so every -j produces identical output.
 package main
 
 import (
@@ -39,8 +49,15 @@ func run(args []string, out io.Writer) error {
 	maxLanes := fs.Int("maxlanes", 16, "largest lane count to sweep")
 	formName := fs.String("form", "B", "memory-execution form (A | B | C)")
 	nki := fs.Int64("nki", 10, "kernel-instance repetitions")
+	strategy := fs.String("strategy", "exhaustive", "exploration strategy (exhaustive | wall-pruned | pareto)")
+	jobs := fs.Int("j", 0, "parallel evaluation workers (0 = all CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := dse.ParseStrategy(*strategy)
+	if err != nil {
 		return err
 	}
 
@@ -71,20 +88,23 @@ func run(args []string, out io.Writer) error {
 	}
 
 	lanes := dse.DivisorLaneCounts(ngs, *maxLanes)
-	sw, err := c.Explore(build, lanes, perf.Workload{NKI: *nki}, form)
+	space, err := dse.NewSpace(dse.LanesAxis(lanes))
+	if err != nil {
+		return err
+	}
+	res, err := c.ExploreSpace(build, space, perf.Workload{NKI: *nki}, form, st, *jobs)
+	if err != nil {
+		return err
+	}
+	sw, err := res.Sweep(form)
 	if err != nil {
 		return err
 	}
 
-	tab := report.NewTable(
+	tab := report.SweepTable(
 		fmt.Sprintf("%s variant sweep on %s (%s; walls: host=%d dram=%d compute=%d)",
 			*kernel, target.Name, form, sw.HostWall, sw.DRAMWall, sw.ComputeWall),
-		"lanes", "ALUTs", "%ALUT", "%BRAM", "%GMemBW", "%HostBW", "EKIT/s", "fits", "limit")
-	for _, p := range sw.Points {
-		tab.AddRow(p.Lanes, p.Est.Used.ALUTs,
-			p.UtilALUT*100, p.UtilBRAM*100, p.UtilGMemBW*100, p.UtilHostBW*100,
-			p.EKIT, fmt.Sprintf("%v", p.Fits), p.Breakdown.Limiter)
-	}
+		sw)
 	if *csv {
 		fmt.Fprint(out, tab.CSV())
 	} else {
@@ -98,6 +118,9 @@ func run(args []string, out io.Writer) error {
 		}
 	} else {
 		fmt.Fprintln(out, "no variant fits the device")
+	}
+	if line := report.FrontierLine(res); line != "" {
+		fmt.Fprint(out, line)
 	}
 	// The feedback path: what to transform next (§I's targeted tuning).
 	fmt.Fprint(out, dse.Advise(sw))

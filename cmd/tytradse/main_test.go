@@ -34,10 +34,64 @@ func TestRunErrors(t *testing.T) {
 		{"-kernel", "mystery"},
 		{"-target", "nope"},
 		{"-form", "Z"},
+		{"-strategy", "simulated-annealing"},
 	}
 	for i, args := range cases {
 		if err := run(args, &out); err == nil {
 			t.Errorf("case %d (%v): no error", i, args)
 		}
+	}
+}
+
+// TestRunParallelMatchesSerial is the acceptance check for -j: the
+// engine is deterministic, so -j=8 must print byte-identical output
+// (same best variant included) to -j=1.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	var serial, parallel strings.Builder
+	args := []string{"-kernel", "sor", "-maxlanes", "8", "-form", "A", "-strategy", "exhaustive"}
+	if err := run(append(args, "-j", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-j", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-j=8 output differs from -j=1:\n--- j=1\n%s\n--- j=8\n%s", serial.String(), parallel.String())
+	}
+	if !strings.Contains(serial.String(), "best variant") {
+		t.Error("no best variant selected")
+	}
+}
+
+// TestRunStrategies: wall-pruned truncates the sweep at the walls but
+// keeps the best variant; pareto appends the frontier line.
+func TestRunStrategies(t *testing.T) {
+	var full, pruned, pareto strings.Builder
+	args := []string{"-kernel", "sor", "-maxlanes", "8", "-form", "A"}
+	if err := run(args, &full); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-strategy", "wall-pruned"), &pruned); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-strategy", "pareto"), &pareto); err != nil {
+		t.Fatal(err)
+	}
+	bestLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "best variant:") {
+				return line
+			}
+		}
+		return ""
+	}
+	if b := bestLine(pruned.String()); b == "" || b != bestLine(full.String()) {
+		t.Errorf("wall-pruned best %q != exhaustive best %q", b, bestLine(full.String()))
+	}
+	if len(pruned.String()) >= len(full.String()) {
+		t.Error("wall-pruned did not truncate the sweep")
+	}
+	if !strings.Contains(pareto.String(), "pareto frontier") {
+		t.Error("pareto output missing the frontier line")
 	}
 }

@@ -1,9 +1,10 @@
 // sor-dse: the paper's §II/§VI-A story end to end. A scalar kernel is
 // written once in the functional front-end; reshapeTo type
-// transformations generate correct-by-construction lane variants; every
-// variant is lowered to TyTra-IR and costed; the sweep prints the design
-// space with its walls and selects the best variant — the guided
-// optimisation search the cost model enables.
+// transformations generate correct-by-construction lane variants;
+// every variant is lowered to TyTra-IR and costed in parallel by the
+// DSE engine; the sweep prints the design space with its walls and
+// selects the best variant — the guided optimisation search the cost
+// model enables.
 //
 //	go run ./examples/sor-dse
 package main
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/dse"
 	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/tir"
@@ -66,45 +68,48 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Lower and cost every variant; keep the best that fits.
+	// 3. Lower and cost every variant in parallel: the lane counts the
+	// front-end generated become the lanes axis of a design Space, and
+	// the engine's worker pool evaluates the points concurrently with
+	// memoised estimates.
+	byLanes := map[int]*typetrans.Program{}
+	laneVals := make([]int, len(variants))
+	for i, v := range variants {
+		laneVals[i] = int(v.Lanes())
+		byLanes[int(v.Lanes())] = v
+	}
+	space, err := dse.NewSpace(dse.LanesAxis(laneVals))
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := func(lanes int) (*tir.Module, error) { return byLanes[lanes].Lower() }
+	res, err := compiler.ExploreSpace(build, space, perf.Workload{NKI: 100}, perf.FormB,
+		dse.Exhaustive{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	tab := report.NewTable(
 		fmt.Sprintf("laplace1d design space on %s (form B, NKI=100)", target.Name),
 		"lanes", "modes", "ALUTs", "%ALUT", "EKIT/s", "fits", "limit")
-	type scored struct {
-		lanes int
-		ekit  float64
-	}
-	var best *scored
-	for _, v := range variants {
-		m, err := v.Lower()
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := compiler.Cost(m, perf.Workload{NKI: 100}, perf.FormB)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, p := range res.Points {
+		v := variants[i]
 		modeStr := ""
-		for i, mode := range v.Modes {
-			if i > 0 {
+		for j, mode := range v.Modes {
+			if j > 0 {
 				modeStr += "·"
 			}
 			modeStr += "map^" + mode.String()
 		}
-		fits := rep.Est.Fits()
-		a, _, _, _ := rep.Est.Utilisation()
-		tab.AddRow(v.Lanes(), modeStr, rep.Est.Used.ALUTs, a*100, rep.EKIT,
-			fmt.Sprintf("%v", fits), rep.Breakdown.Limiter)
-		if fits && (best == nil || rep.EKIT > best.ekit) {
-			best = &scored{lanes: int(v.Lanes()), ekit: rep.EKIT}
-		}
+		tab.AddRow(v.Lanes(), modeStr, p.Est.Used.ALUTs, p.UtilALUT*100, p.EKIT,
+			fmt.Sprintf("%v", p.Fits), p.Breakdown.Limiter)
 	}
 	fmt.Println(tab)
 
 	// 4. The guided search's answer.
-	if best == nil {
+	if res.Best == nil {
 		fmt.Println("no variant fits the device")
 		return
 	}
-	fmt.Printf("selected variant: %d lanes (EKIT %.3g/s)\n", best.lanes, best.ekit)
+	fmt.Printf("selected variant: %d lanes (EKIT %.3g/s)\n", res.Best.Lanes, res.Best.EKIT)
 }

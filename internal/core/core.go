@@ -127,7 +127,18 @@ func (c *Compiler) Simulate(m *tir.Module, mem map[string][]int64) (*pipesim.Res
 }
 
 // Explore sweeps a variant family and returns the costed design space
-// with its walls and the selected best variant (Fig 15).
+// with its walls and the selected best variant (Fig 15). It is the
+// one-axis exhaustive special case of ExploreSpace.
 func (c *Compiler) Explore(build dse.VariantBuilder, lanes []int, w perf.Workload, form perf.Form) (*dse.Sweep, error) {
 	return dse.SweepLanes(c.Model, c.BW, build, lanes, w, form)
+}
+
+// ExploreSpace explores an N-dimensional design space (lanes × DV ×
+// form, see dse.NewSpace) under a pluggable strategy, evaluating
+// points concurrently on workers goroutines (<= 0 selects GOMAXPROCS).
+// form is the default when the space has no form axis.
+func (c *Compiler) ExploreSpace(build dse.VariantBuilder, space *dse.Space, w perf.Workload,
+	form perf.Form, st dse.Strategy, workers int) (*dse.Result, error) {
+	eng := dse.NewEngine(space, dse.NewEvaluator(c.Model, c.BW, build, w, form), workers)
+	return eng.Run(st)
 }

@@ -1,10 +1,25 @@
-// Package dse is the design-space-exploration driver of the TyTra flow:
-// it walks a family of design variants (typically the lane-count sweep
-// that reshapeTo generates, §VI-A), costs every variant with the resource
-// and throughput models, identifies the walls that bound the design
-// space — the computation wall where the device runs out of a resource,
-// and the communication walls where host or DRAM bandwidth saturates
-// (Fig 15) — and selects the best valid variant.
+// Package dse is the design-space-exploration engine of the TyTra
+// flow. The space of design variants is modelled explicitly as a
+// Space of named axes — lane replication, per-lane vectorisation
+// degree, memory-execution form, with clock frequency and device
+// reserved as follow-on axes — and an Engine evaluates its points
+// through a worker pool with a memoised per-variant cost cache (the
+// whole evaluation stack, costmodel.Estimate plus perf.Extract/EKIT,
+// is pure, which makes both the parallelism and the caching sound).
+//
+// Which points get evaluated is a pluggable Strategy:
+//
+//   - Exhaustive covers the full cross product;
+//   - WallPruned walks the lanes axis bottom-up and stops at the first
+//     wall crossing — the computation wall where the device runs out of
+//     a resource, or the communication walls where host or DRAM
+//     bandwidth saturates (Fig 15);
+//   - ParetoFrontier reports the throughput-versus-utilisation
+//     trade-off curve over the full space.
+//
+// SweepLanes and SweepLanesDV, the original serial drivers, remain as
+// thin adapters over the engine and produce results identical to the
+// pre-engine implementation (pinned by the equivalence tests).
 package dse
 
 import (
@@ -42,6 +57,19 @@ type Point struct {
 	Fits bool
 }
 
+// PeakUtil is the binding resource fraction of the point: the largest
+// of its four resource-utilisation bars. It is the cost objective of
+// the Pareto frontier and the figure the CLI prints beside it.
+func (p *Point) PeakUtil() float64 {
+	max := p.UtilALUT
+	for _, u := range [...]float64{p.UtilReg, p.UtilBRAM, p.UtilDSP} {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
 // Sweep is the outcome of exploring one variant family under one
 // memory-execution form.
 type Sweep struct {
@@ -63,67 +91,23 @@ type Sweep struct {
 	Best *Point
 }
 
-// SweepLanes builds, costs and ranks variants at each lane count.
+// SweepLanes builds, costs and ranks variants at each lane count: the
+// one-axis exhaustive exploration, run through the engine.
 func SweepLanes(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	lanes []int, w perf.Workload, form perf.Form) (*Sweep, error) {
 	if len(lanes) == 0 {
 		return nil, fmt.Errorf("dse: no lane counts to sweep")
 	}
-	sw := &Sweep{Form: form}
-	for _, l := range lanes {
-		m, err := build(l)
-		if err != nil {
-			return nil, fmt.Errorf("dse: building %d-lane variant: %w", l, err)
-		}
-		est, err := mdl.Estimate(m)
-		if err != nil {
-			return nil, fmt.Errorf("dse: costing %d-lane variant: %w", l, err)
-		}
-		par, err := perf.Extract(est, bw, w)
-		if err != nil {
-			return nil, fmt.Errorf("dse: extracting %d-lane parameters: %w", l, err)
-		}
-		ekit, bd, err := par.EKIT(form)
-		if err != nil {
-			return nil, fmt.Errorf("dse: evaluating %d-lane variant: %w", l, err)
-		}
-		p := Point{Lanes: l, Est: est, Par: par, EKIT: ekit, Breakdown: bd, Fits: est.Fits()}
-		p.UtilALUT, p.UtilReg, p.UtilBRAM, p.UtilDSP = est.Utilisation()
-
-		// Full-rate bandwidth demand: every lane consumes one tuple per
-		// cycle (the paper's pipelined configurations).
-		demand := par.FD * float64(par.KNL) * float64(par.DV) *
-			float64(par.NWPT) * float64(par.WordBytes) / par.CyclesPerItem()
-		p.UtilGMemBW = demand / (par.GPB * par.RhoG)
-		hostDemand := demand
-		if form != perf.FormA {
-			// Forms B/C move host data once per NKI instances.
-			hostDemand /= float64(par.NKI)
-		}
-		p.UtilHostBW = hostDemand / (par.HPB * par.RhoH)
-
-		if !p.Fits && sw.ComputeWall == 0 {
-			sw.ComputeWall = l
-		}
-		if p.UtilHostBW >= 1 && sw.HostWall == 0 {
-			sw.HostWall = l
-		}
-		if p.UtilGMemBW >= 1 && sw.DRAMWall == 0 {
-			sw.DRAMWall = l
-		}
-		sw.Points = append(sw.Points, p)
+	space, err := NewSpace(LanesAxis(lanes))
+	if err != nil {
+		return nil, err
 	}
-
-	for i := range sw.Points {
-		p := &sw.Points[i]
-		if !p.Fits {
-			continue
-		}
-		if sw.Best == nil || p.EKIT > sw.Best.EKIT {
-			sw.Best = p
-		}
+	eng := NewEngine(space, NewEvaluator(mdl, bw, build, w, form), 0)
+	res, err := eng.Run(Exhaustive{})
+	if err != nil {
+		return nil, err
 	}
-	return sw, nil
+	return res.Sweep(form)
 }
 
 // LaneCounts returns the 1..max sweep used by the Fig 15 experiment.

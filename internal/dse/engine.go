@@ -1,0 +1,425 @@
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/tir"
+)
+
+// Evaluator costs one point of a Space. Evaluators must be pure: the
+// same variant always yields the same Point (or the same error), which
+// is what lets the engine memoise and parallelise freely.
+type Evaluator func(s *Space, v Variant) (*Point, error)
+
+// onceCell is a concurrency-safe memo slot: the first caller computes,
+// everyone else waits on the Once and reads the settled values.
+type onceCell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// NewEvaluator returns the standard evaluator over the paper's cost
+// stack: build the variant's module (lanes axis), cost it with the
+// calibrated resource model (dv axis selects the vectorised estimate),
+// extract the Table I parameters against the bandwidth model, and
+// evaluate EKIT under the memory-execution form (form axis, defaulting
+// to the given form when the space has no form axis).
+//
+// costmodel.Estimate and perf.Extract are pure, so the evaluator
+// memoises module builds per lane count and estimates per (lanes, dv)
+// — a form axis re-prices throughput without re-costing resources.
+func NewEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	w perf.Workload, form perf.Form) Evaluator {
+	var (
+		builds sync.Map // lanes int -> *onceCell[*tir.Module]
+		ests   sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
+	)
+	buildModule := func(lanes int) (*tir.Module, error) {
+		c, _ := builds.LoadOrStore(lanes, &onceCell[*tir.Module]{})
+		cell := c.(*onceCell[*tir.Module])
+		cell.once.Do(func() {
+			cell.val, cell.err = build(lanes)
+			if cell.err != nil {
+				cell.err = fmt.Errorf("dse: building %d-lane variant: %w", lanes, cell.err)
+			}
+		})
+		return cell.val, cell.err
+	}
+	estimate := func(lanes, dv int) (*costmodel.Estimate, error) {
+		c, _ := ests.LoadOrStore([2]int{lanes, dv}, &onceCell[*costmodel.Estimate]{})
+		cell := c.(*onceCell[*costmodel.Estimate])
+		cell.once.Do(func() {
+			m, err := buildModule(lanes)
+			if err != nil {
+				cell.err = err
+				return
+			}
+			cell.val, cell.err = mdl.EstimateVectorised(m, dv)
+			if cell.err != nil {
+				if dv == 1 {
+					cell.err = fmt.Errorf("dse: costing %d-lane variant: %w", lanes, cell.err)
+				} else {
+					cell.err = fmt.Errorf("dse: costing %d-lane dv=%d variant: %w", lanes, dv, cell.err)
+				}
+			}
+		})
+		return cell.val, cell.err
+	}
+	return func(s *Space, v Variant) (*Point, error) {
+		for _, a := range s.Axes() {
+			switch a.Name {
+			case AxisLanes, AxisDV, AxisForm:
+			default:
+				return nil, fmt.Errorf("dse: axis %q not supported by the standard evaluator", a.Name)
+			}
+		}
+		lanes := s.ValueDefault(v, AxisLanes, 1)
+		dv := s.ValueDefault(v, AxisDV, 1)
+		f := perf.Form(s.ValueDefault(v, AxisForm, int(form)))
+		est, err := estimate(lanes, dv)
+		if err != nil {
+			return nil, err
+		}
+		return evalPoint(est, bw, w, f, lanes)
+	}
+}
+
+// evalPoint derives the full Point from a resource estimate: the Table
+// I parameter extraction, the EKIT throughput under the form, and the
+// Fig 15 utilisation bars.
+func evalPoint(est *costmodel.Estimate, bw *membw.Model, w perf.Workload,
+	form perf.Form, lanes int) (*Point, error) {
+	par, err := perf.Extract(est, bw, w)
+	if err != nil {
+		return nil, fmt.Errorf("dse: extracting %d-lane parameters: %w", lanes, err)
+	}
+	ekit, bd, err := par.EKIT(form)
+	if err != nil {
+		return nil, fmt.Errorf("dse: evaluating %d-lane variant: %w", lanes, err)
+	}
+	p := &Point{Lanes: lanes, Est: est, Par: par, EKIT: ekit, Breakdown: bd, Fits: est.Fits()}
+	p.UtilALUT, p.UtilReg, p.UtilBRAM, p.UtilDSP = est.Utilisation()
+
+	// Full-rate bandwidth demand: every lane consumes one tuple per
+	// cycle (the paper's pipelined configurations).
+	demand := par.FD * float64(par.KNL) * float64(par.DV) *
+		float64(par.NWPT) * float64(par.WordBytes) / par.CyclesPerItem()
+	p.UtilGMemBW = demand / (par.GPB * par.RhoG)
+	hostDemand := demand
+	if form != perf.FormA {
+		// Forms B/C move host data once per NKI instances.
+		hostDemand /= float64(par.NKI)
+	}
+	p.UtilHostBW = hostDemand / (par.HPB * par.RhoH)
+	return p, nil
+}
+
+// Engine evaluates points of a Space through a worker pool with a
+// memoised per-variant cache. The evaluation stack is pure, so the
+// cache never invalidates and results are deterministic regardless of
+// worker count or scheduling. An Engine is safe for concurrent use.
+type Engine struct {
+	Space *Space
+	Eval  Evaluator
+	// Workers is the evaluation parallelism (the -j of cmd/tytradse).
+	Workers int
+
+	cache sync.Map // variant key -> *onceCell[*Point]
+}
+
+// NewEngine builds an engine; workers <= 0 selects GOMAXPROCS.
+func NewEngine(space *Space, eval Evaluator, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{Space: space, Eval: eval, Workers: workers}
+}
+
+// evalOne evaluates a single variant through the memo cache.
+func (e *Engine) evalOne(v Variant) (*Point, error) {
+	c, _ := e.cache.LoadOrStore(e.Space.Key(v), &onceCell[*Point]{})
+	cell := c.(*onceCell[*Point])
+	cell.once.Do(func() { cell.val, cell.err = e.Eval(e.Space, v) })
+	return cell.val, cell.err
+}
+
+// EvalAll evaluates the variants concurrently and returns their points
+// in input order. On failure it returns the error of the
+// lowest-indexed failing variant, so errors are deterministic too.
+func (e *Engine) EvalAll(vs []Variant) ([]*Point, error) {
+	points, errs := e.evalAllKeep(vs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// evalAllKeep is EvalAll without the error short-circuit: it returns
+// every point alongside its per-variant error, letting callers that
+// prune (WallPruned) consume a wave's successful prefix and discard
+// failures past the cut — exactly what a serial sweep would never
+// have evaluated.
+func (e *Engine) evalAllKeep(vs []Variant) ([]*Point, []error) {
+	points := make([]*Point, len(vs))
+	errs := make([]error, len(vs))
+	workers := e.Workers
+	if workers > len(vs) {
+		workers = len(vs)
+	}
+	if workers <= 1 {
+		for i, v := range vs {
+			points[i], errs[i] = e.evalOne(v)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					points[i], errs[i] = e.evalOne(vs[i])
+				}
+			}()
+		}
+		for i := range vs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	return points, errs
+}
+
+// Run explores the engine's space under the given strategy.
+func (e *Engine) Run(st Strategy) (*Result, error) { return st.Explore(e) }
+
+// Walls are the design-space bounds of Fig 15, as lane counts: the
+// smallest evaluated lane count that crossed each limit, or 0.
+type Walls struct {
+	// Compute is where the device runs out of a resource.
+	Compute int
+	// Host is where the demanded host-link bandwidth exceeds the
+	// sustained rate (meaningful under form A, where every instance
+	// re-streams over the link).
+	Host int
+	// DRAM is where the demanded device-DRAM bandwidth exceeds the
+	// sustained rate.
+	DRAM int
+}
+
+// Result is the outcome of one exploration: the evaluated variants (a
+// strategy may evaluate only part of the space), their points in
+// deterministic order, the walls, and the selected best.
+type Result struct {
+	Space    *Space
+	Strategy string
+
+	Variants []Variant
+	Points   []*Point
+
+	// Best is the highest-EKIT point that fits the device, or nil;
+	// BestVariant is its coordinate.
+	Best        *Point
+	BestVariant Variant
+
+	Walls Walls
+
+	// Frontier holds indices into Points of the EKIT-vs-utilisation
+	// Pareto frontier; only the ParetoFrontier strategy fills it.
+	Frontier []int
+}
+
+// bestOf scans points in order and returns the highest-EKIT fitting
+// point and its variant (nil if none fit). Earlier points win ties,
+// matching the legacy sweep's strict comparison.
+func bestOf(vs []Variant, ps []*Point) (*Point, Variant) {
+	var best *Point
+	var bv Variant
+	for i, p := range ps {
+		if p == nil || !p.Fits {
+			continue
+		}
+		if best == nil || p.EKIT > best.EKIT {
+			best, bv = p, vs[i]
+		}
+	}
+	return best, bv
+}
+
+// newResult assembles a Result from evaluated points: walls and best
+// are derived here so every strategy reports them consistently.
+func newResult(e *Engine, strategy string, vs []Variant, ps []*Point) *Result {
+	r := &Result{Space: e.Space, Strategy: strategy, Variants: vs, Points: ps}
+	r.Walls = computeWalls(e.Space, vs, ps)
+	r.Best, r.BestVariant = bestOf(vs, ps)
+	return r
+}
+
+// computeWalls scans the evaluated points in ascending lanes-axis
+// order and records the smallest lane count crossing each limit —
+// independent of evaluation order, so parallel runs agree with serial
+// ones.
+func computeWalls(s *Space, vs []Variant, ps []*Point) Walls {
+	var w Walls
+	li, ok := s.AxisIndex(AxisLanes)
+	if !ok {
+		return w
+	}
+	lanesAxis := s.Axes()[li]
+	for vi := range lanesAxis.Values {
+		for i, v := range vs {
+			if v[li] != vi || ps[i] == nil {
+				continue
+			}
+			p, lanes := ps[i], lanesAxis.Values[vi]
+			if !p.Fits && w.Compute == 0 {
+				w.Compute = lanes
+			}
+			if p.UtilHostBW >= 1 && w.Host == 0 {
+				w.Host = lanes
+			}
+			if p.UtilGMemBW >= 1 && w.DRAM == 0 {
+				w.DRAM = lanes
+			}
+		}
+	}
+	return w
+}
+
+// Slice restricts a result to the variants taking the given value on
+// the named axis (e.g. one memory-execution form of a lanes×form
+// exploration), recomputing walls, best and — when the source carried
+// one — the Pareto frontier over the slice.
+func (r *Result) Slice(axis string, value int) (*Result, error) {
+	ai, ok := r.Space.AxisIndex(axis)
+	if !ok {
+		return nil, fmt.Errorf("dse: result has no %q axis", axis)
+	}
+	out := &Result{Space: r.Space, Strategy: r.Strategy}
+	for i, v := range r.Variants {
+		if r.Space.Axes()[ai].Values[v[ai]] != value {
+			continue
+		}
+		out.Variants = append(out.Variants, v)
+		out.Points = append(out.Points, r.Points[i])
+	}
+	out.Walls = computeWalls(r.Space, out.Variants, out.Points)
+	out.Best, out.BestVariant = bestOf(out.Variants, out.Points)
+	if r.Strategy == (ParetoFrontier{}).Name() {
+		out.Frontier = paretoFrontier(out.Points)
+	}
+	return out, nil
+}
+
+// Sweep converts a result over a lanes axis into the legacy Sweep
+// shape consumed by the report tables and the advice pass. Every axis
+// other than lanes must be single-valued in the result (Slice first
+// otherwise). Points appear in lanes-axis order; walls and best are
+// recomputed with the exact legacy scan so adapter output is identical
+// to the pre-engine implementation.
+func (r *Result) Sweep(form perf.Form) (*Sweep, error) {
+	li, ok := r.Space.AxisIndex(AxisLanes)
+	if !ok {
+		return nil, fmt.Errorf("dse: result has no lanes axis")
+	}
+	if err := r.singleValuedExcept(li); err != nil {
+		return nil, err
+	}
+	w := computeWalls(r.Space, r.Variants, r.Points)
+	sw := &Sweep{Form: form, ComputeWall: w.Compute, HostWall: w.Host, DRAMWall: w.DRAM}
+	lanesAxis := r.Space.Axes()[li]
+	for vi := range lanesAxis.Values {
+		for i, v := range r.Variants {
+			if v[li] != vi || r.Points[i] == nil {
+				continue
+			}
+			sw.Points = append(sw.Points, *r.Points[i])
+		}
+	}
+	for i := range sw.Points {
+		p := &sw.Points[i]
+		if !p.Fits {
+			continue
+		}
+		if sw.Best == nil || p.EKIT > sw.Best.EKIT {
+			sw.Best = p
+		}
+	}
+	return sw, nil
+}
+
+// singleValuedExcept errors when any axis other than the given ones
+// takes more than one value across the result's variants — the
+// conversions to the legacy sweep shapes need every remaining axis
+// pinned (Slice first otherwise).
+func (r *Result) singleValuedExcept(keep ...int) error {
+	for ai, a := range r.Space.Axes() {
+		kept := false
+		for _, k := range keep {
+			if ai == k {
+				kept = true
+				break
+			}
+		}
+		if kept {
+			continue
+		}
+		seen := -1
+		for _, v := range r.Variants {
+			if seen == -1 {
+				seen = v[ai]
+			} else if v[ai] != seen {
+				return fmt.Errorf("dse: axis %q is not single-valued; Slice before Sweep", a.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Sweep2D converts a result over lanes×dv axes into the legacy
+// Sweep2D grid, rows in lanes-axis order and columns in dv-axis order.
+func (r *Result) Sweep2D(form perf.Form) (*Sweep2D, error) {
+	li, ok := r.Space.AxisIndex(AxisLanes)
+	if !ok {
+		return nil, fmt.Errorf("dse: result has no lanes axis")
+	}
+	di, ok := r.Space.AxisIndex(AxisDV)
+	if !ok {
+		return nil, fmt.Errorf("dse: result has no dv axis")
+	}
+	if err := r.singleValuedExcept(li, di); err != nil {
+		return nil, err
+	}
+	lanesAxis, dvAxis := r.Space.Axes()[li], r.Space.Axes()[di]
+	sw := &Sweep2D{Form: form, Lanes: lanesAxis.Values, DVs: dvAxis.Values}
+	grid := make(map[[2]int]*Point, len(r.Points))
+	for i, v := range r.Variants {
+		grid[[2]int{v[li], v[di]}] = r.Points[i]
+	}
+	for vi := range lanesAxis.Values {
+		row := make([]Point, 0, len(dvAxis.Values))
+		for di2 := range dvAxis.Values {
+			p := grid[[2]int{vi, di2}]
+			if p == nil {
+				return nil, fmt.Errorf("dse: point lanes=%d dv=%d not evaluated",
+					lanesAxis.Values[vi], dvAxis.Values[di2])
+			}
+			row = append(row, *p)
+			if p.Fits && (sw.Best == nil || p.EKIT > sw.Best.EKIT) {
+				best := *p
+				sw.Best = &best
+			}
+		}
+		sw.Points = append(sw.Points, row)
+	}
+	return sw, nil
+}

@@ -1,0 +1,161 @@
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// Well-known axis names. The standard evaluator (NewEvaluator)
+// understands lanes, dv and form; fclk and device are reserved for the
+// follow-on axes named in ROADMAP.md and are rejected until an
+// evaluator implements them.
+const (
+	AxisLanes  = "lanes"
+	AxisDV     = "dv"
+	AxisForm   = "form"
+	AxisFclk   = "fclk"
+	AxisDevice = "device"
+)
+
+// Axis is one named dimension of a design space: the ordered list of
+// values a variant can take along it. Values are plain ints — lane
+// counts, vectorisation degrees, perf.Form codes, clock MHz — so any
+// enumerable design knob fits.
+type Axis struct {
+	Name   string
+	Values []int
+}
+
+// LanesAxis is the thread-parallelism axis (KNL, the C1/C2 region of
+// Fig 5).
+func LanesAxis(values []int) Axis { return Axis{Name: AxisLanes, Values: values} }
+
+// DVAxis is the per-lane vectorisation axis (the C3 region of Fig 5).
+func DVAxis(values []int) Axis { return Axis{Name: AxisDV, Values: values} }
+
+// FormAxis is the memory-execution-form axis (§III-5).
+func FormAxis(forms ...perf.Form) Axis {
+	vals := make([]int, len(forms))
+	for i, f := range forms {
+		vals[i] = int(f)
+	}
+	return Axis{Name: AxisForm, Values: vals}
+}
+
+// Space is an N-dimensional design space: the cross product of its
+// axes. A Space is immutable after construction and safe for
+// concurrent use.
+type Space struct {
+	axes  []Axis
+	index map[string]int
+}
+
+// NewSpace builds a space from the given axes. Every axis must be
+// named, non-empty and unique.
+func NewSpace(axes ...Axis) (*Space, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("dse: space has no axes")
+	}
+	s := &Space{index: make(map[string]int, len(axes))}
+	for _, a := range axes {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dse: unnamed axis")
+		}
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("dse: axis %q has no values", a.Name)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("dse: duplicate axis %q", a.Name)
+		}
+		s.index[a.Name] = len(s.axes)
+		vals := make([]int, len(a.Values))
+		copy(vals, a.Values)
+		s.axes = append(s.axes, Axis{Name: a.Name, Values: vals})
+	}
+	return s, nil
+}
+
+// Axes returns the axes in declaration order.
+func (s *Space) Axes() []Axis { return s.axes }
+
+// AxisIndex returns the position of the named axis.
+func (s *Space) AxisIndex(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Size is the number of points in the space.
+func (s *Space) Size() int {
+	n := 1
+	for _, a := range s.axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Variant identifies one point of a Space: the value index chosen
+// along each axis, in axis declaration order.
+type Variant []int
+
+// Value returns the concrete value the variant takes on the named
+// axis, or false if the space has no such axis.
+func (s *Space) Value(v Variant, name string) (int, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, false
+	}
+	return s.axes[i].Values[v[i]], true
+}
+
+// ValueDefault is Value with a fallback for absent axes.
+func (s *Space) ValueDefault(v Variant, name string, def int) int {
+	if val, ok := s.Value(v, name); ok {
+		return val
+	}
+	return def
+}
+
+// Key is the canonical cache key of a variant: identical keys mean
+// identical evaluation inputs, which is what makes memoisation sound.
+func (s *Space) Key(v Variant) string {
+	var b strings.Builder
+	for i, a := range s.axes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", a.Name, a.Values[v[i]])
+	}
+	return b.String()
+}
+
+// Describe renders the variant for error messages ("lanes=4 dv=2").
+func (s *Space) Describe(v Variant) string {
+	return strings.ReplaceAll(s.Key(v), ",", " ")
+}
+
+// Enumerate lists every point of the space in row-major order: the
+// first axis varies slowest, the last fastest. The order is
+// deterministic, so parallel evaluation returns results in a stable
+// order regardless of worker scheduling.
+func (s *Space) Enumerate() []Variant {
+	out := make([]Variant, 0, s.Size())
+	cur := make(Variant, len(s.axes))
+	for {
+		v := make(Variant, len(cur))
+		copy(v, cur)
+		out = append(out, v)
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < len(s.axes[i].Values) {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy decides which points of the space an Engine evaluates and
+// in what order: Exhaustive covers everything, WallPruned stops the
+// lanes axis at the walls, ParetoFrontier reports the
+// throughput-vs-utilisation trade-off curve. Strategies never change
+// what a point costs — only evaluation coverage — so any two
+// strategies agree wherever they overlap.
+type Strategy interface {
+	Name() string
+	Explore(e *Engine) (*Result, error)
+}
+
+// ParseStrategy resolves a -strategy flag value.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "exhaustive", "":
+		return Exhaustive{}, nil
+	case "wall-pruned", "wallpruned", "pruned":
+		return WallPruned{}, nil
+	case "pareto", "pareto-frontier":
+		return ParetoFrontier{}, nil
+	}
+	return nil, fmt.Errorf("dse: unknown strategy %q (have: %v)", name, StrategyNames())
+}
+
+// StrategyNames lists the canonical strategy names.
+func StrategyNames() []string { return []string{"exhaustive", "wall-pruned", "pareto"} }
+
+// Exhaustive evaluates every point of the space.
+type Exhaustive struct{}
+
+// Name implements Strategy.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Explore implements Strategy.
+func (Exhaustive) Explore(e *Engine) (*Result, error) {
+	vs := e.Space.Enumerate()
+	ps, err := e.EvalAll(vs)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(e, Exhaustive{}.Name(), vs, ps), nil
+}
+
+// WallPruned sweeps the lanes axis in ascending order and stops once a
+// wall of Fig 15 has been crossed and nothing further can be gained:
+//
+//   - at the computation wall the first non-fitting variant ends the
+//     axis — resource use grows monotonically with lanes, so nothing
+//     beyond it fits either (a lossless prune);
+//   - past a host- or DRAM-bandwidth wall throughput is bounded by the
+//     link, but the fill and priming terms still improve with lanes, so
+//     the sweep continues until the per-lane EKIT gain falls under
+//     saturationGain — the flat tail of Fig 15 is skipped, not the
+//     climb toward it.
+//
+// Every combination of the other axes gets its own pruned lane sweep.
+// Without a lanes axis it degrades to Exhaustive.
+type WallPruned struct{}
+
+// Name implements Strategy.
+func (WallPruned) Name() string { return "wall-pruned" }
+
+// saturationGain is the relative EKIT improvement under which a
+// bandwidth-walled sweep is considered saturated.
+const saturationGain = 0.01
+
+// Explore implements Strategy.
+func (st WallPruned) Explore(e *Engine) (*Result, error) {
+	li, ok := e.Space.AxisIndex(AxisLanes)
+	if !ok {
+		r, err := Exhaustive{}.Explore(e)
+		if err != nil {
+			return nil, err
+		}
+		r.Strategy = st.Name()
+		return r, nil
+	}
+
+	// Group the variants by their coordinates on every axis but lanes,
+	// preserving enumeration order; sort each group by lanes index so
+	// pruning walks the axis bottom-up.
+	type group struct {
+		key string
+		vs  []Variant
+	}
+	var groups []*group
+	byKey := map[string]*group{}
+	for _, v := range e.Space.Enumerate() {
+		key := ""
+		for ai, idx := range v {
+			if ai == li {
+				continue
+			}
+			key += fmt.Sprintf("%d:%d,", ai, idx)
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{key: key}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.vs = append(g.vs, v)
+	}
+	for _, g := range groups {
+		sort.SliceStable(g.vs, func(i, j int) bool { return g.vs[i][li] < g.vs[j][li] })
+	}
+
+	// Guard against a zero-value Engine built without NewEngine: an
+	// empty wave would never advance the sweep.
+	waveSize := e.Workers
+	if waveSize < 1 {
+		waveSize = 1
+	}
+
+	var vs []Variant
+	var ps []*Point
+	for _, g := range groups {
+		// Evaluate in waves of Workers points so pruning still feeds
+		// the pool, then cut where the axis is exhausted.
+		prevEKIT := 0.0
+		bwWalled := false
+	sweep:
+		for lo := 0; lo < len(g.vs); {
+			hi := lo + waveSize
+			if hi > len(g.vs) {
+				hi = len(g.vs)
+			}
+			// Consume the wave in axis order so behaviour is
+			// worker-count independent: an error past the prune point
+			// is never reached, exactly as a serial sweep would never
+			// have evaluated it.
+			wave, waveErrs := e.evalAllKeep(g.vs[lo:hi])
+			for i, p := range wave {
+				if waveErrs[i] != nil {
+					return nil, waveErrs[i]
+				}
+				vs = append(vs, g.vs[lo+i])
+				ps = append(ps, p)
+				if !p.Fits {
+					break sweep // computation wall: nothing beyond fits
+				}
+				if p.UtilHostBW >= 1 || p.UtilGMemBW >= 1 {
+					if bwWalled && p.EKIT <= prevEKIT*(1+saturationGain) {
+						break sweep // bandwidth wall crossed and throughput saturated
+					}
+					bwWalled = true
+				}
+				prevEKIT = p.EKIT
+			}
+			lo = hi
+		}
+	}
+	return newResult(e, st.Name(), vs, ps), nil
+}
+
+// ParetoFrontier evaluates the whole space, then marks the points on
+// the EKIT-versus-peak-resource-utilisation Pareto frontier: the
+// designs where more throughput cannot be had without spending a
+// larger fraction of the device. Only fitting points qualify.
+type ParetoFrontier struct{}
+
+// Name implements Strategy.
+func (ParetoFrontier) Name() string { return "pareto" }
+
+// paretoFrontier returns the indices of the fitting points on the
+// EKIT-versus-peak-utilisation Pareto frontier.
+func paretoFrontier(ps []*Point) []int {
+	var front []int
+	for i, p := range ps {
+		if p == nil || !p.Fits {
+			continue
+		}
+		dominated := false
+		for j, q := range ps {
+			if i == j || q == nil || !q.Fits {
+				continue
+			}
+			// q dominates p: at least as good on both objectives and
+			// strictly better on one.
+			if q.EKIT >= p.EKIT && q.PeakUtil() <= p.PeakUtil() &&
+				(q.EKIT > p.EKIT || q.PeakUtil() < p.PeakUtil()) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Explore implements Strategy.
+func (st ParetoFrontier) Explore(e *Engine) (*Result, error) {
+	r, err := Exhaustive{}.Explore(e)
+	if err != nil {
+		return nil, err
+	}
+	r.Strategy = st.Name()
+	r.Frontier = paretoFrontier(r.Points)
+	return r, nil
+}

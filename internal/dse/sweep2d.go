@@ -26,41 +26,24 @@ type Sweep2D struct {
 	Best *Point
 }
 
-// SweepLanesDV evaluates every (lanes, dv) combination.
+// SweepLanesDV evaluates every (lanes, dv) combination: the two-axis
+// exhaustive exploration, run through the engine. Unlike the original
+// serial implementation, every point now also carries its bandwidth
+// utilisation fractions (UtilGMemBW, UtilHostBW), which the engine
+// computes uniformly.
 func SweepLanesDV(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	lanes, dvs []int, w perf.Workload, form perf.Form) (*Sweep2D, error) {
 	if len(lanes) == 0 || len(dvs) == 0 {
 		return nil, fmt.Errorf("dse: empty lane or DV axis")
 	}
-	sw := &Sweep2D{Form: form, Lanes: lanes, DVs: dvs}
-	for _, l := range lanes {
-		m, err := build(l)
-		if err != nil {
-			return nil, fmt.Errorf("dse: building %d-lane variant: %w", l, err)
-		}
-		row := make([]Point, 0, len(dvs))
-		for _, dv := range dvs {
-			est, err := mdl.EstimateVectorised(m, dv)
-			if err != nil {
-				return nil, fmt.Errorf("dse: costing %d-lane dv=%d variant: %w", l, dv, err)
-			}
-			par, err := perf.Extract(est, bw, w)
-			if err != nil {
-				return nil, err
-			}
-			ekit, bd, err := par.EKIT(form)
-			if err != nil {
-				return nil, err
-			}
-			p := Point{Lanes: l, Est: est, Par: par, EKIT: ekit, Breakdown: bd, Fits: est.Fits()}
-			p.UtilALUT, p.UtilReg, p.UtilBRAM, p.UtilDSP = est.Utilisation()
-			row = append(row, p)
-			if p.Fits && (sw.Best == nil || p.EKIT > sw.Best.EKIT) {
-				best := p
-				sw.Best = &best
-			}
-		}
-		sw.Points = append(sw.Points, row)
+	space, err := NewSpace(LanesAxis(lanes), DVAxis(dvs))
+	if err != nil {
+		return nil, err
 	}
-	return sw, nil
+	eng := NewEngine(space, NewEvaluator(mdl, bw, build, w, form), 0)
+	res, err := eng.Run(Exhaustive{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Sweep2D(form)
 }

@@ -121,7 +121,10 @@ type Fig15Result struct {
 	A, B   *dse.Sweep
 }
 
-// Fig15 runs the 1..16-lane sweep of the SOR kernel.
+// Fig15 runs the 1..16-lane sweep of the SOR kernel under forms A and
+// B as one engine exploration over the lanes×form space: the memoised
+// per-variant estimates are shared between the forms (a form only
+// re-prices throughput) and the 32 points evaluate concurrently.
 func Fig15() (*Fig15Result, error) {
 	t := device.GSD8Edu()
 	mdl, err := costmodel.Calibrate(t)
@@ -134,11 +137,30 @@ func Fig15() (*Fig15Result, error) {
 	}
 	build := func(lanes int) (*tir.Module, error) { return Fig15Spec(lanes).Module() }
 	w := perf.Workload{NKI: 10}
-	a, err := dse.SweepLanes(mdl, bw, build, dse.LaneCounts(16), w, perf.FormA)
+	space, err := dse.NewSpace(
+		dse.LanesAxis(dse.LaneCounts(16)),
+		dse.FormAxis(perf.FormA, perf.FormB),
+	)
 	if err != nil {
 		return nil, err
 	}
-	b, err := dse.SweepLanes(mdl, bw, build, dse.LaneCounts(16), w, perf.FormB)
+	eng := dse.NewEngine(space, dse.NewEvaluator(mdl, bw, build, w, perf.FormB), 0)
+	res, err := eng.Run(dse.Exhaustive{})
+	if err != nil {
+		return nil, err
+	}
+	sweepFor := func(form perf.Form) (*dse.Sweep, error) {
+		slice, err := res.Slice(dse.AxisForm, int(form))
+		if err != nil {
+			return nil, err
+		}
+		return slice.Sweep(form)
+	}
+	a, err := sweepFor(perf.FormA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sweepFor(perf.FormB)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dse"
+)
+
+// SweepTable renders a lane sweep in the layout cmd/tytradse prints:
+// one row per evaluated variant with the resource and bandwidth
+// utilisation bars of Fig 15 and the throughput limiter.
+func SweepTable(title string, sw *dse.Sweep) *Table {
+	t := NewTable(title,
+		"lanes", "ALUTs", "%ALUT", "%BRAM", "%GMemBW", "%HostBW", "EKIT/s", "fits", "limit")
+	for _, p := range sw.Points {
+		t.AddRow(p.Lanes, p.Est.Used.ALUTs,
+			p.UtilALUT*100, p.UtilBRAM*100, p.UtilGMemBW*100, p.UtilHostBW*100,
+			p.EKIT, fmt.Sprintf("%v", p.Fits), p.Breakdown.Limiter)
+	}
+	return t
+}
+
+// FrontierLine renders the Pareto frontier of a result, cheapest
+// design first, as the one-line summary the CLI appends under the
+// sweep table.
+func FrontierLine(r *dse.Result) string {
+	if len(r.Frontier) == 0 {
+		return ""
+	}
+	front := make([]int, len(r.Frontier))
+	copy(front, r.Frontier)
+	sort.SliceStable(front, func(a, b int) bool {
+		return r.Points[front[a]].PeakUtil() < r.Points[front[b]].PeakUtil()
+	})
+	s := "pareto frontier (EKIT/s @ peak utilisation):"
+	for _, i := range front {
+		p := r.Points[i]
+		s += fmt.Sprintf(" %s(%.3g @ %.0f%%)", r.Space.Describe(r.Variants[i]), p.EKIT, p.PeakUtil()*100)
+	}
+	return s + "\n"
+}
