@@ -361,6 +361,97 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
+// benchBind builds the module and bound inputs for one spec. The
+// BenchmarkPipesim family runs experiments.PipesimBenchSpecs — the same
+// workloads as the committed BENCH_PIPESIM.json baseline.
+func benchBind(b *testing.B, spec kernels.LanedSpec) (*tir.Module, map[string][]int64) {
+	b.Helper()
+	m, err := spec.Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := kernels.BindInputs(spec.MakeInputs(1), spec.LaneCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, mem
+}
+
+// BenchmarkPipesimRun prices one compiled kernel-instance per golden
+// kernel through pipesim.Run — validate + compile + execute, the cost a
+// cold simulation-backed DSE point pays. The committed baseline and the
+// interpreter it must beat by >=10x on sor live in BENCH_PIPESIM.json.
+func BenchmarkPipesimRun(b *testing.B) {
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		b.Run(spec.Name(), func(b *testing.B) {
+			m, mem := benchBind(b, spec)
+			var res *pipesim.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = pipesim.Run(m, mem)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+			b.ReportMetric(float64(res.Items)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+		})
+	}
+}
+
+// BenchmarkPipesimOracle prices the same instances through the retained
+// interpreter: the denominator of the speedups in BENCH_PIPESIM.json,
+// kept benchmarked so the oracle stays honest (and usable) too.
+func BenchmarkPipesimOracle(b *testing.B) {
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		b.Run(spec.Name(), func(b *testing.B) {
+			m, mem := benchBind(b, spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipesim.RunOracle(m, mem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipesimIterations prices the form-B iteration loop on a
+// reused Runner: per-kernel feedback wiring (the stencil kernels feed
+// their output field back; lavamd re-runs its pairs), nki instances per
+// op. This is the path examples/weather-sim and simulation-backed DSE
+// sit on.
+func BenchmarkPipesimIterations(b *testing.B) {
+	const nki = 10
+	feedback := map[string]pipesim.Feedback{
+		"sor":     {kernels.MemName("p_new", -1): kernels.MemName("p", -1)},
+		"hotspot": {kernels.MemName("t_new", -1): kernels.MemName("t", -1)},
+		"srad":    {kernels.MemName("img_new", -1): kernels.MemName("img", -1)},
+		"lavamd":  {},
+	}
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		b.Run(spec.Name(), func(b *testing.B) {
+			m, mem := benchBind(b, spec)
+			r, err := pipesim.NewRunner(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fb := feedback[spec.Name()]
+			var res *pipesim.IterationResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = r.RunIterations(mem, nki, fb)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.TotalCycles), "cycles")
+			b.ReportMetric(float64(res.Instances)*float64(b.N)/b.Elapsed().Seconds(), "instances/s")
+		})
+	}
+}
+
 // runSim is a thin indirection so the benchmark body stays readable.
 func runSim(m *tir.Module, mem map[string][]int64) (int64, error) {
 	res, err := pipesim.Run(m, mem)

@@ -9,6 +9,13 @@
 //	tytrabench -exp fig18    case-study energy (Fig 18)
 //	tytrabench -exp speed    estimator latency (§VI-A)
 //	tytrabench -exp all      everything, in paper order
+//
+// With -json the tool instead emits the pipesim benchmark report — the
+// golden kernels timed through the interpreter oracle, the
+// compile-per-call executor and the compile-once Runner — in the schema
+// committed as BENCH_PIPESIM.json at the repo root:
+//
+//	tytrabench -json > BENCH_PIPESIM.json
 package main
 
 import (
@@ -34,8 +41,19 @@ func run(args []string, out io.Writer) error {
 	exp := fs.String("exp", "all", "experiment: fig9|fig10|fig15|table2|fig17|fig18|speed|all")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	full := fs.Bool("full", true, "use the paper-scale workloads (slower)")
+	jsonOut := fs.Bool("json", false, "emit the pipesim benchmark report as JSON (BENCH_PIPESIM.json schema)")
+	benchTime := fs.Duration("benchtime", 0, "per-measurement time budget for -json (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		r, err := experiments.PipesimBench(*benchTime)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.JSON())
+		return nil
 	}
 
 	emit := func(t interface {

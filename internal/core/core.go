@@ -121,9 +121,18 @@ func (c *Compiler) Synthesize(m *tir.Module) (*fabric.Netlist, error) {
 }
 
 // Simulate executes the design variant cycle-accurately on the given
-// memory contents, producing outputs and the actual CPKI.
+// memory contents, producing outputs and the actual CPKI. One-shot; see
+// SimRunner for loops.
 func (c *Compiler) Simulate(m *tir.Module, mem map[string][]int64) (*pipesim.Result, error) {
 	return pipesim.Run(m, mem)
+}
+
+// SimRunner validates and compiles the design variant once, returning
+// the reusable simulator arena: iteration drivers and simulation-backed
+// exploration loops amortise datapath compilation across instances
+// instead of paying it per Simulate call.
+func (c *Compiler) SimRunner(m *tir.Module) (*pipesim.Runner, error) {
+	return pipesim.NewRunner(m)
 }
 
 // Explore sweeps a variant family and returns the costed design space

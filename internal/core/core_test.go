@@ -110,6 +110,22 @@ func TestCompilerSimulate(t *testing.T) {
 	if res.Acc["potAcc"] != wantAcc["potAcc"] {
 		t.Error("accumulator mismatch")
 	}
+
+	// The reusable arena must agree with the one-shot path across
+	// repeated instances.
+	r, err := c.SimRunner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		again, err := r.Run(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Cycles != res.Cycles || again.Acc["potAcc"] != res.Acc["potAcc"] {
+			t.Fatalf("run %d: runner diverged from Simulate", k)
+		}
+	}
 }
 
 func TestCompilerExplore(t *testing.T) {

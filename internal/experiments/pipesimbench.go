@@ -1,0 +1,158 @@
+// Pipesim benchmark report: the machine-readable perf trajectory of the
+// simulator, committed as BENCH_PIPESIM.json at the repo root (see
+// DESIGN.md). Each golden kernel is timed through three paths — the
+// retained interpreter oracle, the compile-per-call executor, and the
+// compile-once Runner — so regressions in either the compiled datapath
+// or the compilation cost itself are visible in review diffs.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/pipesim"
+)
+
+// PipesimBenchRow is the measurement of one golden kernel.
+type PipesimBenchRow struct {
+	Kernel string `json:"kernel"`
+	Items  int64  `json:"items"`
+	Cycles int64  `json:"cycles"`
+	// OracleNsOp is the retained interpreter (the pre-compile-once
+	// executor): one kernel-instance, nanoseconds.
+	OracleNsOp int64 `json:"oracle_ns_op"`
+	// CompiledNsOp is pipesim.Run: validate + compile + execute, the
+	// cost a cold DSE point pays.
+	CompiledNsOp int64 `json:"compiled_ns_op"`
+	// RunnerNsOp is Runner.Run on a pre-built Runner: the amortised
+	// per-instance cost iteration loops pay.
+	RunnerNsOp int64 `json:"runner_ns_op"`
+	// SpeedupCompiled is OracleNsOp / CompiledNsOp.
+	SpeedupCompiled float64 `json:"speedup_compiled"`
+	// SpeedupRunner is OracleNsOp / RunnerNsOp.
+	SpeedupRunner float64 `json:"speedup_runner"`
+}
+
+// PipesimBenchResult is the whole report.
+type PipesimBenchResult struct {
+	Schema string            `json:"schema"`
+	GOOS   string            `json:"goos"`
+	GOARCH string            `json:"goarch"`
+	CPUs   int               `json:"cpus"`
+	Rows   []PipesimBenchRow `json:"benchmarks"`
+}
+
+// PipesimBenchSpecs are the measured workloads: the same SOR instance
+// BenchmarkPipelineSimulator has always used (so the trajectory links
+// back to pre-compile-once history) plus mid-size instances of the
+// other golden kernels. The root BenchmarkPipesim family consumes this
+// same list, keeping the Go benchmark series and the committed
+// BENCH_PIPESIM.json baseline on identical workloads.
+func PipesimBenchSpecs() []kernels.LanedSpec {
+	return []kernels.LanedSpec{
+		kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 1},
+		kernels.HotspotSpec{Rows: 64, Cols: 93, Lanes: 1},
+		kernels.LavaMDSpec{Pairs: 4096, Lanes: 1},
+		kernels.SRADSpec{Rows: 64, Cols: 75, Lanes: 1},
+	}
+}
+
+// PipesimBench times every golden kernel through the three executor
+// paths. minTime is the budget per (kernel, path) measurement; zero
+// selects a default suited to a committed baseline.
+func PipesimBench(minTime time.Duration) (*PipesimBenchResult, error) {
+	if minTime <= 0 {
+		minTime = 250 * time.Millisecond
+	}
+	res := &PipesimBenchResult{
+		Schema: "tytra-bench-pipesim/v1",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.GOMAXPROCS(0),
+	}
+	for _, spec := range PipesimBenchSpecs() {
+		m, err := spec.Module()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name(), err)
+		}
+		mem, err := kernels.BindInputs(spec.MakeInputs(1), spec.LaneCount())
+		if err != nil {
+			return nil, err
+		}
+		ref, err := pipesim.Run(m, mem)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name(), err)
+		}
+		row := PipesimBenchRow{
+			Kernel: spec.Name(),
+			Items:  ref.Items,
+			Cycles: ref.Cycles,
+		}
+		row.OracleNsOp, err = timeIt(minTime, func() error {
+			_, err := pipesim.RunOracle(m, mem)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.CompiledNsOp, err = timeIt(minTime, func() error {
+			_, err := pipesim.Run(m, mem)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		runner, err := pipesim.NewRunner(m)
+		if err != nil {
+			return nil, err
+		}
+		row.RunnerNsOp, err = timeIt(minTime, func() error {
+			_, err := runner.Run(mem)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.SpeedupCompiled = float64(row.OracleNsOp) / float64(row.CompiledNsOp)
+		row.SpeedupRunner = float64(row.OracleNsOp) / float64(row.RunnerNsOp)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// timeIt measures ns per call with a calibration pass followed by a
+// timed batch covering at least minTime.
+func timeIt(minTime time.Duration, f func() error) (int64, error) {
+	if err := f(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, err
+	}
+	per := time.Since(start)
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	n := int(minTime/per) + 1
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(n), nil
+}
+
+// JSON renders the report for BENCH_PIPESIM.json.
+func (r *PipesimBenchResult) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "{}" // cannot happen: the struct is plain data
+	}
+	return string(b) + "\n"
+}

@@ -1,0 +1,712 @@
+package pipesim
+
+import (
+	"fmt"
+
+	"repro/internal/tir"
+)
+
+// This file is the compile-once half of the simulator: it lowers one
+// PE's datapath (comb children flattened inline) into a dense []op
+// program whose operands are pre-resolved integer slots into a flat
+// register file. Everything the wave-by-wave interpreter re-derives per
+// work-item — string-keyed environments, offset-root resolution, port
+// binding, opcode dispatch, pipeline depth, accumulator drain — is
+// resolved here exactly once per call site, so the executor's inner
+// loop touches nothing but slices. The retained interpreter in
+// pipesim.go is the oracle this lowering is differentially tested
+// against (fuzz_test.go).
+
+// uop is the micro-operation code of one compiled datapath step.
+type uop uint8
+
+const (
+	// uopLoadIn loads the current work-item's element of an input
+	// stream: regs[dst] = ins[sidx][i].
+	uopLoadIn uop = iota
+	// uopLoadOff loads a window element at a pre-resolved cumulative
+	// offset, zero-filled outside the stream bounds.
+	uopLoadOff
+	// uopBin applies a pre-resolved binary evaluation closure.
+	uopBin
+	// uopBinAcc is the reduction idiom: acc[dst] = fn2(a, b).
+	uopBinAcc
+	// uopUn applies a pre-resolved unary evaluation closure.
+	uopUn
+	// uopCmp applies a pre-resolved icmp predicate closure.
+	uopCmp
+	// uopSel selects regs-or-acc a or b on condition slot c.
+	uopSel
+	// uopOut writes the wrapped value to an output stream:
+	// outs[sidx][i] = wrap(a).
+	uopOut
+	// uopMove copies a value between slots (comb parameter fed from an
+	// accumulator, read at call position).
+	uopMove
+	// uopMoveWrap copies with a width wrap (comb out-parameter result
+	// wires).
+	uopMoveWrap
+
+	// Specialised unsigned forms: for UInt types Wrap is a plain mask
+	// (all-ones at >= 64 bits), so the dominant opcodes inline into the
+	// executor switch with no closure indirection. Each must match
+	// EvalBin/EvalUn bit for bit; the differential fuzz corpus and the
+	// golden kernels exercise all of them.
+	uopAddU
+	uopSubU
+	uopMulU
+	uopAndU
+	uopOrU
+	uopXorU
+	uopShlU
+	uopLshrU
+	uopMinU
+	uopMaxU
+	uopAbsU    // unsigned abs == wrap
+	uopAccAddU // acc[dst] = (a + b) & mask
+	uopOutU    // outs[sidx][i] = (a) & mask
+	uopMoveWrapU
+)
+
+// op is one compiled datapath step. Operand encoding: a non-negative
+// slot indexes the register file; a negative slot s reads accumulator
+// index -1-s. Immediates and constants occupy register slots that are
+// written once at compile time and never touched by the executor.
+type op struct {
+	code uop
+	dst  int32  // register slot; accumulator index for uopBinAcc; unused for uopOut
+	a, b int32  // operand encodings
+	c    int32  // select condition encoding
+	sidx int32  // stream index for uopLoadIn/uopLoadOff/uopOut
+	off  int64  // cumulative element offset for uopLoadOff
+	mask uint64 // width mask for the specialised unsigned forms
+	fn2  func(a, b int64) int64
+	fn1  func(a int64) int64
+	wrap func(v int64) int64
+}
+
+// streamBind is one pre-resolved port binding: which memory object the
+// stream index refers to, fixed at compile time by the call site's
+// port wiring.
+type streamBind struct {
+	param string
+	mem   string
+	size  int64
+}
+
+// bindStep records one argument of the call site in declaration order,
+// so the dynamic bind replays the oracle's arg-order semantics (an
+// output materialised by an earlier argument is visible to a later
+// input argument of the same call).
+type bindStep struct {
+	out bool
+	idx int32 // index into ins or outs
+}
+
+// accInfo describes one module-level accumulator the program touches.
+type accInfo struct {
+	name     string
+	written  bool
+	opc      tir.Opcode
+	ty       tir.Type
+	mergeOp  func(a, b int64) int64
+	identity int64
+	// mergeable reports that every write is the same
+	// commutative-associative opcode at the same type, so per-lane
+	// partials starting from the identity merge to the bit-exact
+	// sequential result.
+	mergeable bool
+}
+
+// program is the compiled form of one PE call site: the slot-indexed
+// datapath plus everything runCall used to recompute per invocation
+// (items, fill cycles, port bindings, accumulator set).
+type program struct {
+	fn    *tir.Function
+	ops   []op
+	ins   []streamBind
+	outs  []streamBind
+	binds []bindStep // call-arg declaration order over ins/outs
+	accs  []*accInfo
+	items int64
+	// fill is the invocation's non-streaming cycles: burst-aligned
+	// window priming + pipeline depth + handshake + accumulator drain.
+	fill int64
+	// parSafe reports the program may run as a concurrent lane: it
+	// reads no accumulator outside the reduction self-read and every
+	// accumulator it writes is mergeable.
+	parSafe bool
+
+	// Reusable scratch. A program belongs to exactly one call site of
+	// one Runner, and parallel lanes are distinct call sites, so the
+	// executor never shares this state across goroutines.
+	regs    []int64
+	accVals []int64
+	inArrs  [][]int64
+	outArrs [][]int64
+}
+
+// compiler carries the state of one lowering.
+type compiler struct {
+	m    *tir.Module
+	fn   *tir.Function
+	prog *program
+
+	nslots   int32
+	slots    map[string]int32 // parent-scope SSA name -> slot
+	constIdx map[int64]int32  // de-duplicated constant slots
+	consts   []constSlot
+	accIdx   map[string]int32
+
+	inParams  map[string]int32 // input param -> stream index
+	outParams map[string]int32 // output param -> stream index
+
+	drain   int64 // max accumulator latency among parent-level reductions
+	parSafe bool
+}
+
+type constSlot struct {
+	slot int32
+	val  int64
+}
+
+// compileCall lowers the pipe function fn as invoked by call: it
+// performs bind()'s static port checks, resolves offset roots, flattens
+// comb children, pre-computes the fill terms and allocates the reusable
+// execution scratch.
+func compileCall(m *tir.Module, call *tir.CallInstr, fn *tir.Function) (*program, error) {
+	c := &compiler{
+		m: m, fn: fn,
+		prog:      &program{fn: fn},
+		slots:     map[string]int32{},
+		constIdx:  map[int64]int32{},
+		accIdx:    map[string]int32{},
+		inParams:  map[string]int32{},
+		outParams: map[string]int32{},
+		parSafe:   true,
+	}
+
+	// Port binding: the static half of bind().
+	items := int64(-1)
+	for k, a := range call.Args {
+		param := fn.Params[k]
+		if a.Kind != tir.OpGlobal {
+			return nil, fmt.Errorf("pipesim: call @%s: argument %d must wire a top-level port, got %s",
+				fn.Name, k, a)
+		}
+		port := m.Port(a.Name)
+		if port == nil {
+			return nil, fmt.Errorf("pipesim: call @%s: no port @%s", fn.Name, a.Name)
+		}
+		if port.Elem != param.Ty {
+			return nil, fmt.Errorf("pipesim: call @%s: port @%s type %s does not match parameter %%%s type %s",
+				fn.Name, a.Name, port.Elem, param.Name, param.Ty)
+		}
+		so := m.Stream(port.Stream)
+		if so == nil {
+			return nil, fmt.Errorf("pipesim: port @%s has no stream object", a.Name)
+		}
+		mo := m.MemObject(so.Mem)
+		if mo == nil {
+			return nil, fmt.Errorf("pipesim: stream %%%s has no memory object", so.Name)
+		}
+		switch port.Dir {
+		case tir.DirIn:
+			idx := int32(len(c.prog.ins))
+			c.inParams[param.Name] = idx
+			c.prog.ins = append(c.prog.ins, streamBind{param: param.Name, mem: mo.Name, size: mo.Size})
+			c.prog.binds = append(c.prog.binds, bindStep{out: false, idx: idx})
+		case tir.DirOut:
+			idx := int32(len(c.prog.outs))
+			c.outParams[param.Name] = idx
+			c.prog.outs = append(c.prog.outs, streamBind{param: param.Name, mem: mo.Name, size: mo.Size})
+			c.prog.binds = append(c.prog.binds, bindStep{out: true, idx: idx})
+		}
+		if items < 0 || mo.Size < items {
+			items = mo.Size
+		}
+	}
+	if items < 0 {
+		return nil, fmt.Errorf("pipesim: call @%s binds no streams", fn.Name)
+	}
+	c.prog.items = items
+
+	// Input parameters enter the register file once per work-item.
+	for _, p := range fn.Params {
+		sidx, ok := c.inParams[p.Name]
+		if !ok {
+			continue
+		}
+		dst := c.newSlot()
+		c.slots[p.Name] = dst
+		c.emit(op{code: uopLoadIn, dst: dst, sidx: sidx})
+	}
+
+	// Offset resolution: dst -> (root input stream, cumulative offset),
+	// exactly the pre-pass execute() performs per invocation.
+	roots := map[string]streamRef{}
+	var maxAhead int64
+	for _, in := range fn.Body {
+		o, ok := in.(*tir.OffsetInstr)
+		if !ok {
+			continue
+		}
+		r := streamRef{root: o.Src.Name, off: o.Offset}
+		if prev, chained := roots[o.Src.Name]; chained {
+			r = streamRef{root: prev.root, off: prev.off + o.Offset}
+		}
+		if _, isIn := c.inParams[r.root]; !isIn {
+			return nil, fmt.Errorf("pipesim: @%s: offset %%%s is not rooted in an input stream", fn.Name, o.Dst)
+		}
+		roots[o.Dst] = r
+		if r.off > maxAhead {
+			maxAhead = r.off
+		}
+	}
+
+	// Lower the body.
+	for _, in := range fn.Body {
+		switch it := in.(type) {
+		case *tir.OffsetInstr:
+			r := roots[it.Dst]
+			dst := c.newSlot()
+			c.slots[it.Dst] = dst
+			c.emit(op{code: uopLoadOff, dst: dst, sidx: c.inParams[r.root], off: r.off})
+		case *tir.ConstInstr:
+			c.slots[it.Dst] = c.constSlot(it.Ty.Wrap(it.Val))
+		case *tir.OutInstr:
+			sidx, ok := c.outParams[it.Port]
+			if !ok {
+				return nil, fmt.Errorf("pipesim: @%s: out to %%%s which is not an output stream", fn.Name, it.Port)
+			}
+			a, err := c.resolve(it.Val, c.slots, fn.Name)
+			if err != nil {
+				return nil, err
+			}
+			c.noteAccRead(a)
+			if it.Ty.Kind == tir.UInt {
+				c.emit(op{code: uopOutU, sidx: sidx, a: a, mask: it.Ty.Mask()})
+			} else {
+				c.emit(op{code: uopOut, sidx: sidx, a: a, wrap: it.Ty.Wrap})
+			}
+		case *tir.CallInstr:
+			if it.Mode == tir.ModePipe {
+				continue // peer PE, simulated separately
+			}
+			if it.Mode != tir.ModeComb {
+				return nil, fmt.Errorf("pipesim: @%s: cannot execute %s call inside a datapath", fn.Name, it.Mode)
+			}
+			if err := c.inlineComb(it); err != nil {
+				return nil, err
+			}
+		default:
+			if err := c.compileALU(in, c.slots, fn.Name, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Fill terms, hoisted out of execute(): priming completes at a DMA
+	// burst boundary; drain is constant because every work-item runs
+	// every reduction.
+	depth, err := pipelineDepth(m, fn)
+	if err != nil {
+		return nil, err
+	}
+	primed := maxAhead
+	if rem := primed % burstElems; rem != 0 || primed == 0 {
+		primed += burstElems - rem
+	}
+	c.prog.fill = primed + int64(depth) + handshake + c.drain
+
+	c.prog.parSafe = c.parSafe
+	for _, a := range c.prog.accs {
+		if a.written && !a.mergeable {
+			c.prog.parSafe = false
+		}
+	}
+
+	// Allocate the reusable arena. Constants load once, here: their
+	// slots are never written by the executor.
+	c.prog.regs = make([]int64, c.nslots)
+	for _, cs := range c.consts {
+		c.prog.regs[cs.slot] = cs.val
+	}
+	c.prog.accVals = make([]int64, len(c.prog.accs))
+	c.prog.inArrs = make([][]int64, len(c.prog.ins))
+	c.prog.outArrs = make([][]int64, len(c.prog.outs))
+	return c.prog, nil
+}
+
+// compileALU lowers the pure-datapath instructions shared by pipe
+// bodies and inlined comb blocks. drainEligible is true only at the
+// parent level: the interpreter accounts accumulator drain for the
+// parent wave, not for comb sub-blocks.
+func (c *compiler) compileALU(in tir.Instr, scope map[string]int32, fname string, drainEligible bool) error {
+	switch it := in.(type) {
+	case *tir.BinInstr:
+		fn2, ok := tir.BinEval(it.Op, it.Ty)
+		if !ok {
+			return fmt.Errorf("pipesim: @%s: %s is not a binary integer opcode", fname, it.Op)
+		}
+		a, err := c.resolve(it.A, scope, fname)
+		if err != nil {
+			return err
+		}
+		b, err := c.resolve(it.B, scope, fname)
+		if err != nil {
+			return err
+		}
+		if it.GlobalDst {
+			c.compileAccWrite(it, a, b, fn2, drainEligible)
+			return nil
+		}
+		c.noteAccRead(a)
+		c.noteAccRead(b)
+		dst := c.newSlot()
+		scope[it.Dst] = dst
+		if code, ok := uintBinUop(it.Op, it.Ty); ok {
+			c.emit(op{code: code, dst: dst, a: a, b: b, mask: it.Ty.Mask()})
+		} else {
+			c.emit(op{code: uopBin, dst: dst, a: a, b: b, fn2: fn2})
+		}
+	case *tir.UnInstr:
+		fn1, ok := tir.UnEval(it.Op, it.Ty)
+		if !ok {
+			return fmt.Errorf("pipesim: @%s: %s is not a unary integer opcode", fname, it.Op)
+		}
+		a, err := c.resolve(it.A, scope, fname)
+		if err != nil {
+			return err
+		}
+		c.noteAccRead(a)
+		dst := c.newSlot()
+		scope[it.Dst] = dst
+		if it.Op == tir.OpAbs && it.Ty.Kind == tir.UInt {
+			c.emit(op{code: uopAbsU, dst: dst, a: a, mask: it.Ty.Mask()})
+		} else {
+			c.emit(op{code: uopUn, dst: dst, a: a, fn1: fn1})
+		}
+	case *tir.CmpInstr:
+		fn2, ok := tir.CmpEval(it.Pred, it.Ty)
+		if !ok {
+			return fmt.Errorf("pipesim: @%s: invalid icmp predicate %q", fname, it.Pred)
+		}
+		a, err := c.resolve(it.A, scope, fname)
+		if err != nil {
+			return err
+		}
+		b, err := c.resolve(it.B, scope, fname)
+		if err != nil {
+			return err
+		}
+		c.noteAccRead(a)
+		c.noteAccRead(b)
+		dst := c.newSlot()
+		scope[it.Dst] = dst
+		c.emit(op{code: uopCmp, dst: dst, a: a, b: b, fn2: fn2})
+	case *tir.SelectInstr:
+		cond, err := c.resolve(it.Cond, scope, fname)
+		if err != nil {
+			return err
+		}
+		a, err := c.resolve(it.A, scope, fname)
+		if err != nil {
+			return err
+		}
+		b, err := c.resolve(it.B, scope, fname)
+		if err != nil {
+			return err
+		}
+		c.noteAccRead(cond)
+		c.noteAccRead(a)
+		c.noteAccRead(b)
+		dst := c.newSlot()
+		scope[it.Dst] = dst
+		c.emit(op{code: uopSel, dst: dst, c: cond, a: a, b: b})
+	default:
+		return fmt.Errorf("pipesim: @%s: unknown instruction %T", fname, in)
+	}
+	return nil
+}
+
+// compileAccWrite lowers the reduction idiom @acc = op v, @acc and
+// classifies the accumulator for parallel-lane mergeability.
+func (c *compiler) compileAccWrite(it *tir.BinInstr, a, b int32, fn2 func(int64, int64) int64, drainEligible bool) {
+	ai := c.accSlot(it.Dst)
+	info := c.prog.accs[ai]
+	id, mergeable := tir.AccIdentity(it.Op, it.Ty)
+	if !info.written {
+		info.written = true
+		info.opc, info.ty = it.Op, it.Ty
+		info.mergeOp, info.identity, info.mergeable = fn2, id, mergeable
+	} else if info.opc != it.Op || info.ty != it.Ty {
+		info.mergeable = false
+	}
+	// Exactly one operand must be the self-read for partials to merge;
+	// any other accumulator operand is an order-dependent read.
+	selfA := it.A.Kind == tir.OpGlobal && it.A.Name == it.Dst
+	selfB := it.B.Kind == tir.OpGlobal && it.B.Name == it.Dst
+	if selfA == selfB {
+		c.parSafe = false
+	}
+	if (!selfA && it.A.Kind == tir.OpGlobal) || (!selfB && it.B.Kind == tir.OpGlobal) {
+		c.parSafe = false
+	}
+	if drainEligible {
+		if l := int64(it.Op.Latency(it.Ty.Bits)); l > c.drain {
+			c.drain = l
+		}
+	}
+	if it.Op == tir.OpAdd && it.Ty.Kind == tir.UInt {
+		c.emit(op{code: uopAccAddU, dst: ai, a: a, b: b, mask: it.Ty.Mask()})
+	} else {
+		c.emit(op{code: uopBinAcc, dst: ai, a: a, b: b, fn2: fn2})
+	}
+}
+
+// uintBinUop maps a binary opcode at an unsigned type to its inline
+// executor specialisation, when one exists.
+func uintBinUop(opc tir.Opcode, ty tir.Type) (uop, bool) {
+	if ty.Kind != tir.UInt {
+		return 0, false
+	}
+	switch opc {
+	case tir.OpAdd:
+		return uopAddU, true
+	case tir.OpSub:
+		return uopSubU, true
+	case tir.OpMul:
+		return uopMulU, true
+	case tir.OpAnd:
+		return uopAndU, true
+	case tir.OpOr:
+		return uopOrU, true
+	case tir.OpXor:
+		return uopXorU, true
+	case tir.OpShl:
+		return uopShlU, true
+	case tir.OpLshr:
+		return uopLshrU, true
+	case tir.OpMin:
+		return uopMinU, true
+	case tir.OpMax:
+		return uopMaxU, true
+	}
+	return 0, false
+}
+
+// inlineComb flattens a comb child into the parent program: in-args
+// alias parent slots (or constant slots), the child body lowers into
+// fresh slots, and `out`-bound parameters define the parent wires the
+// call site names.
+func (c *compiler) inlineComb(call *tir.CallInstr) error {
+	callee := c.m.Func(call.Callee)
+	if callee == nil {
+		return fmt.Errorf("pipesim: @%s: unknown comb callee @%s", c.fn.Name, call.Callee)
+	}
+	outs := callee.OutParams()
+	scope := map[string]int32{}
+	for k, a := range call.Args {
+		param := callee.Params[k]
+		if outs[param.Name] {
+			continue
+		}
+		switch a.Kind {
+		case tir.OpImm:
+			scope[param.Name] = c.constSlot(a.Imm)
+		case tir.OpGlobal:
+			// The accumulator is sampled at the call position.
+			c.parSafe = false
+			dst := c.newSlot()
+			scope[param.Name] = dst
+			c.emit(op{code: uopMove, dst: dst, a: c.accEnc(a.Name)})
+		default:
+			s, ok := c.slots[a.Name]
+			if !ok {
+				return fmt.Errorf("pipesim: @%s: value %%%s not available", c.fn.Name, a.Name)
+			}
+			scope[param.Name] = s
+		}
+	}
+	for _, in := range callee.Body {
+		switch it := in.(type) {
+		case *tir.ConstInstr:
+			scope[it.Dst] = c.constSlot(it.Ty.Wrap(it.Val))
+		case *tir.OutInstr:
+			val, err := c.resolve(it.Val, scope, callee.Name)
+			if err != nil {
+				return err
+			}
+			c.noteAccRead(val)
+			for k, a := range call.Args {
+				if callee.Params[k].Name != it.Port || a.Kind != tir.OpReg {
+					continue
+				}
+				dst := c.newSlot()
+				c.slots[a.Name] = dst
+				if it.Ty.Kind == tir.UInt {
+					c.emit(op{code: uopMoveWrapU, dst: dst, a: val, mask: it.Ty.Mask()})
+				} else {
+					c.emit(op{code: uopMoveWrap, dst: dst, a: val, wrap: it.Ty.Wrap})
+				}
+			}
+		case *tir.BinInstr, *tir.UnInstr, *tir.CmpInstr, *tir.SelectInstr:
+			if err := c.compileALU(in, scope, callee.Name, false); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pipesim: @%s: instruction %T not allowed in a comb block", callee.Name, in)
+		}
+	}
+	return nil
+}
+
+// resolve encodes an operand: immediates become constant slots,
+// globals become negative accumulator encodings, registers look up the
+// scope.
+func (c *compiler) resolve(o tir.Operand, scope map[string]int32, fname string) (int32, error) {
+	switch o.Kind {
+	case tir.OpImm:
+		return c.constSlot(o.Imm), nil
+	case tir.OpGlobal:
+		return c.accEnc(o.Name), nil
+	default:
+		s, ok := scope[o.Name]
+		if !ok {
+			return 0, fmt.Errorf("pipesim: @%s: value %%%s not available", fname, o.Name)
+		}
+		return s, nil
+	}
+}
+
+// noteAccRead marks the program order-dependent when an operand reads
+// an accumulator outside the reduction self-read.
+func (c *compiler) noteAccRead(enc int32) {
+	if enc < 0 {
+		c.parSafe = false
+	}
+}
+
+func (c *compiler) emit(o op) { c.prog.ops = append(c.prog.ops, o) }
+
+func (c *compiler) newSlot() int32 {
+	s := c.nslots
+	c.nslots++
+	return s
+}
+
+// constSlot interns a constant value into a write-once register slot.
+func (c *compiler) constSlot(v int64) int32 {
+	if s, ok := c.constIdx[v]; ok {
+		return s
+	}
+	s := c.newSlot()
+	c.constIdx[v] = s
+	c.consts = append(c.consts, constSlot{slot: s, val: v})
+	return s
+}
+
+// accEnc returns the negative operand encoding of an accumulator.
+func (c *compiler) accEnc(name string) int32 { return -1 - c.accSlot(name) }
+
+func (c *compiler) accSlot(name string) int32 {
+	if i, ok := c.accIdx[name]; ok {
+		return i
+	}
+	i := int32(len(c.prog.accs))
+	c.accIdx[name] = i
+	c.prog.accs = append(c.prog.accs, &accInfo{name: name})
+	return i
+}
+
+// exec streams every work-item through the compiled datapath. ins and
+// outs are the bound memory arrays in program order; acc is the
+// accumulator slab in program order. The loop performs no allocation
+// and no map access.
+func (p *program) exec(ins, outs [][]int64, acc []int64) {
+	regs := p.regs
+	ops := p.ops
+	for i := int64(0); i < p.items; i++ {
+		for k := range ops {
+			o := &ops[k]
+			switch o.code {
+			case uopLoadIn:
+				regs[o.dst] = ins[o.sidx][i]
+			case uopLoadOff:
+				src := ins[o.sidx]
+				j := i + o.off
+				var v int64
+				if j >= 0 && j < int64(len(src)) {
+					v = src[j]
+				}
+				regs[o.dst] = v
+			case uopAddU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)+ld(regs, acc, o.b)) & o.mask)
+			case uopSubU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)-ld(regs, acc, o.b)) & o.mask)
+			case uopMulU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)*ld(regs, acc, o.b)) & o.mask)
+			case uopAndU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)&ld(regs, acc, o.b)) & o.mask)
+			case uopOrU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)|ld(regs, acc, o.b)) & o.mask)
+			case uopXorU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)^ld(regs, acc, o.b)) & o.mask)
+			case uopShlU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)<<(uint64(ld(regs, acc, o.b))&63)) & o.mask)
+			case uopLshrU:
+				regs[o.dst] = int64((uint64(ld(regs, acc, o.a)) & o.mask) >> (uint64(ld(regs, acc, o.b)) & 63))
+			case uopMinU:
+				a, b := ld(regs, acc, o.a), ld(regs, acc, o.b)
+				if uint64(a)&o.mask < uint64(b)&o.mask {
+					regs[o.dst] = int64(uint64(a) & o.mask)
+				} else {
+					regs[o.dst] = int64(uint64(b) & o.mask)
+				}
+			case uopMaxU:
+				a, b := ld(regs, acc, o.a), ld(regs, acc, o.b)
+				if uint64(a)&o.mask < uint64(b)&o.mask {
+					regs[o.dst] = int64(uint64(b) & o.mask)
+				} else {
+					regs[o.dst] = int64(uint64(a) & o.mask)
+				}
+			case uopAbsU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)) & o.mask)
+			case uopAccAddU:
+				acc[o.dst] = int64(uint64(ld(regs, acc, o.a)+ld(regs, acc, o.b)) & o.mask)
+			case uopOutU:
+				outs[o.sidx][i] = int64(uint64(ld(regs, acc, o.a)) & o.mask)
+			case uopMoveWrapU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)) & o.mask)
+			case uopBin, uopCmp:
+				regs[o.dst] = o.fn2(ld(regs, acc, o.a), ld(regs, acc, o.b))
+			case uopBinAcc:
+				acc[o.dst] = o.fn2(ld(regs, acc, o.a), ld(regs, acc, o.b))
+			case uopUn:
+				regs[o.dst] = o.fn1(ld(regs, acc, o.a))
+			case uopSel:
+				if ld(regs, acc, o.c) != 0 {
+					regs[o.dst] = ld(regs, acc, o.a)
+				} else {
+					regs[o.dst] = ld(regs, acc, o.b)
+				}
+			case uopOut:
+				outs[o.sidx][i] = o.wrap(ld(regs, acc, o.a))
+			case uopMove:
+				regs[o.dst] = ld(regs, acc, o.a)
+			case uopMoveWrap:
+				regs[o.dst] = o.wrap(ld(regs, acc, o.a))
+			}
+		}
+	}
+}
+
+// ld reads an operand encoding: non-negative is a register slot,
+// negative is accumulator -1-s.
+func ld(regs, acc []int64, s int32) int64 {
+	if s >= 0 {
+		return regs[s]
+	}
+	return acc[-1-s]
+}

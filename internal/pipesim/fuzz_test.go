@@ -1,6 +1,7 @@
 package pipesim
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/costmodel"
@@ -183,6 +184,31 @@ func TestRandomKernelsSimMatchesInterpreter(t *testing.T) {
 		if res.Acc["acc"] != wantAcc {
 			t.Fatalf("seed %d: acc = %d, want %d", seed, res.Acc["acc"], wantAcc)
 		}
+	}
+}
+
+func TestRandomKernelsCompiledMatchesOracle(t *testing.T) {
+	// Differential executor fuzzing: every module the generator can
+	// express must produce an identical Result — memory contents,
+	// accumulators, cycles and item count — from the compiled executor
+	// and the retained interpreter. This is the contract that lets the
+	// compiled path replace the oracle everywhere.
+	g := &kernelGen{}
+	for seed := uint64(1); seed <= 80; seed++ {
+		m, mem, _ := g.build(seed)
+		r, err := NewRunner(m)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, m)
+		}
+		got, err := r.Run(mem)
+		if err != nil {
+			t.Fatalf("seed %d: compiled run: %v\n%s", seed, err, m)
+		}
+		want, err := RunOracle(m, mem)
+		if err != nil {
+			t.Fatalf("seed %d: oracle run: %v\n%s", seed, err, m)
+		}
+		requireIdenticalResult(t, fmt.Sprintf("seed %d", seed), got, want)
 	}
 }
 

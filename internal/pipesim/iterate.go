@@ -33,7 +33,34 @@ type IterationResult struct {
 // wiring, reproducing a form-B execution: host data is bound once, and
 // between instances each feedback target input is replaced by the
 // corresponding output of the previous instance.
+//
+// The module is validated and compiled once; every instance reuses the
+// compiled programs (or, under -pipesim.oracle, the interpreter).
 func RunIterations(m *tir.Module, mem map[string][]int64, nki int64, fb Feedback) (*IterationResult, error) {
+	if Oracle {
+		return runIterations(m, func(cur map[string][]int64) (*Result, error) {
+			return RunOracle(m, cur)
+		}, mem, nki, fb)
+	}
+	r, err := NewRunner(m)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunIterations(mem, nki, fb)
+}
+
+// RunIterations is the Runner-backed iteration driver: the feedback
+// loop pays compilation, validation and scheduling exactly once, which
+// is what makes per-sweep cost approach the pure streaming cycles.
+func (r *Runner) RunIterations(mem map[string][]int64, nki int64, fb Feedback) (*IterationResult, error) {
+	return runIterations(r.m, r.Run, mem, nki, fb)
+}
+
+// runIterations is the executor-agnostic feedback loop, shared by the
+// compiled and oracle paths so the iteration semantics cannot drift
+// between them.
+func runIterations(m *tir.Module, run func(map[string][]int64) (*Result, error),
+	mem map[string][]int64, nki int64, fb Feedback) (*IterationResult, error) {
 	if nki <= 0 {
 		return nil, fmt.Errorf("pipesim: iteration count must be positive, got %d", nki)
 	}
@@ -56,7 +83,7 @@ func RunIterations(m *tir.Module, mem map[string][]int64, nki int64, fb Feedback
 	cur := mem
 	res := &IterationResult{}
 	for k := int64(0); k < nki; k++ {
-		r, err := Run(m, cur)
+		r, err := run(cur)
 		if err != nil {
 			return nil, fmt.Errorf("pipesim: instance %d: %w", k, err)
 		}

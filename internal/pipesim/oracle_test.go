@@ -1,0 +1,17 @@
+package pipesim
+
+import "flag"
+
+// The -pipesim.oracle flag replays the entire pipesim test suite
+// through the retained wave-by-wave interpreter instead of the
+// compiled executor:
+//
+//	go test ./internal/pipesim -pipesim.oracle
+//
+// Every golden-kernel, coarse-pipeline and iteration test then pins the
+// oracle, while the default run pins the compiled path; the
+// differential tests in fuzz_test.go pin the two against each other.
+func init() {
+	flag.BoolVar(&Oracle, "pipesim.oracle", false,
+		"route pipesim.Run through the retained interpreter (oracle) instead of the compiled executor")
+}

@@ -18,6 +18,15 @@
 // start-up, output handshake flush, and the accumulator drain at the end
 // of the NDRange. These are what make actual CPKI differ from estimated
 // CPKI by the small margins the paper reports.
+//
+// Two executors implement that model. Run lowers each PE once into a
+// slot-indexed program (compile.go) and streams work-items through a
+// tight allocation-free loop, running independent par lanes
+// concurrently (runner.go); construct a Runner directly to amortise the
+// compilation across many instances. RunOracle is the retained
+// wave-by-wave interpreter in this file — the reference the compiled
+// path is differentially tested against, selectable suite-wide with the
+// -pipesim.oracle test flag.
 package pipesim
 
 import (
@@ -69,12 +78,12 @@ type sim struct {
 	acc map[string]int64
 }
 
-// Run executes the design variant on the given memory-object contents.
-// mem must provide an array of exactly the declared size for every
-// memory object that feeds an input stream not produced by another
-// processing element. The map is not mutated; results come back in
-// Result.Mem.
-func Run(m *tir.Module, mem map[string][]int64) (*Result, error) {
+// RunOracle executes the design variant through the wave-by-wave
+// interpreter: the original, map-based reference implementation. It is
+// retained as the oracle the compiled executor (compile.go, runner.go)
+// is differentially tested against — Run must produce a bit-identical
+// Result. Same contract as Run.
+func RunOracle(m *tir.Module, mem map[string][]int64) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

@@ -113,19 +113,29 @@ func EvalBin(op Opcode, ty Type, a, b int64) (int64, error) {
 	case OpMul:
 		return wrap(a * b), nil
 	case OpDiv:
+		// The hardware divider sees the masked divisor: a raw operand that
+		// wraps to zero at the type width saturates like a literal zero.
+		if ty.Kind == UInt {
+			ub := uint64(b) & ty.Mask()
+			if ub == 0 {
+				return wrap(int64(ty.Mask())), nil
+			}
+			return wrap(int64(uint64(a) & ty.Mask() / ub)), nil
+		}
 		if b == 0 {
 			return wrap(int64(ty.Mask())), nil
 		}
-		if ty.Kind == UInt {
-			return wrap(int64(uint64(a) & ty.Mask() / (uint64(b) & ty.Mask()))), nil
-		}
 		return wrap(a / b), nil
 	case OpRem:
+		if ty.Kind == UInt {
+			ub := uint64(b) & ty.Mask()
+			if ub == 0 {
+				return wrap(a), nil
+			}
+			return wrap(int64(uint64(a) & ty.Mask() % ub)), nil
+		}
 		if b == 0 {
 			return wrap(a), nil
-		}
-		if ty.Kind == UInt {
-			return wrap(int64(uint64(a) & ty.Mask() % (uint64(b) & ty.Mask()))), nil
 		}
 		return wrap(a % b), nil
 	case OpAnd:
