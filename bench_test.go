@@ -361,6 +361,54 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSimEvaluator prices one cold variant evaluation per DSE
+// scorer — cost model, cycle-accurate simulator, hybrid — on the same
+// small SOR instance the committed BENCH_DSE_SIM.json baseline
+// measures (experiments.DSESimBenchSpec). A fresh evaluator per
+// iteration: nothing memoised survives, so the number is the cost a
+// new DSE point pays, including the Runner compile on the sim-backed
+// modes. Metrics: the per-instance simulated cycles (sim/hybrid) and
+// the model's CPKI estimate.
+func BenchmarkSimEvaluator(b *testing.B) {
+	target := device.GSD8Edu()
+	mdl, err := costmodel.Calibrate(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw, err := membw.Build(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(lanes int) (*tir.Module, error) {
+		return experiments.DSESimBenchSpec(lanes).Module()
+	}
+	space, err := dse.NewSpace(dse.LanesAxis([]int{2}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	variant := space.Enumerate()[0]
+	for _, mode := range []dse.EvalMode{dse.EvalModel, dse.EvalSim, dse.EvalHybrid} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var p *dse.Point
+			for i := 0; i < b.N; i++ {
+				eval, err := dse.NewModeEvaluator(mode, mdl, bw, build,
+					perf.Workload{NKI: 10}, perf.FormB, dse.SimConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err = eval(space, variant)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(p.Est.CPKI(p.Par.NGS)), "model_cpki")
+			if mode != dse.EvalModel {
+				b.ReportMetric(float64(p.SimCycles), "sim_cycles")
+			}
+		})
+	}
+}
+
 // benchBind builds the module and bound inputs for one spec. The
 // BenchmarkPipesim family runs experiments.PipesimBenchSpecs — the same
 // workloads as the committed BENCH_PIPESIM.json baseline.

@@ -88,6 +88,47 @@ func TestRunJSONBenchReport(t *testing.T) {
 	}
 }
 
+func TestRunJSONDSEReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json", "-report", "dse-sim", "-benchtime", "1ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Rows   []struct {
+			Mode      string `json:"mode"`
+			Lanes     int    `json:"lanes"`
+			NsOp      int64  `json:"ns_op"`
+			SimCycles int64  `json:"sim_cycles"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not the expected JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != "tytra-bench-dse-sim/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	modes := map[string]int{}
+	for _, r := range rep.Rows {
+		modes[r.Mode]++
+		if r.NsOp <= 0 {
+			t.Errorf("%s lanes=%d: non-positive ns_op", r.Mode, r.Lanes)
+		}
+	}
+	for _, m := range []string{"model", "sim", "hybrid"} {
+		if modes[m] != 3 {
+			t.Errorf("mode %s has %d rows, want 3", m, modes[m])
+		}
+	}
+}
+
+func TestRunUnknownJSONReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json", "-report", "nope"}, &out); err == nil {
+		t.Error("unknown -report accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "fig99"}, &out); err == nil {

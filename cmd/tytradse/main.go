@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
-//	         [-strategy exhaustive|wall-pruned|pareto] [-j N] [-csv]
+//	         [-strategy exhaustive|wall-pruned|pareto] [-eval model|sim|hybrid] [-j N] [-csv]
 //
 // The -strategy flag selects the exploration strategy: "exhaustive"
 // costs every variant, "wall-pruned" stops the lane sweep once a
@@ -16,6 +16,13 @@
 // throughput-versus-utilisation frontier. -j sets the number of
 // parallel evaluation workers (0 = all CPUs); the engine is
 // deterministic, so every -j produces identical output.
+//
+// The -eval flag selects the variant scorer: "model" is the paper's
+// EKIT cost model, "sim" scores every variant by measured cycles on
+// the cycle-accurate pipeline simulator (EKIT = FD / cycles), and
+// "hybrid" ranks by the model while recording the simulated cycles,
+// printing the per-variant model/sim calibration table under the
+// sweep.
 package main
 
 import (
@@ -50,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	formName := fs.String("form", "B", "memory-execution form (A | B | C)")
 	nki := fs.Int64("nki", 10, "kernel-instance repetitions")
 	strategy := fs.String("strategy", "exhaustive", "exploration strategy (exhaustive | wall-pruned | pareto)")
+	evalName := fs.String("eval", "model", "variant scorer (model | sim | hybrid)")
 	jobs := fs.Int("j", 0, "parallel evaluation workers (0 = all CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +65,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	st, err := dse.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	mode, err := dse.ParseEvalMode(*evalName)
 	if err != nil {
 		return err
 	}
@@ -92,7 +104,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.ExploreSpace(build, space, perf.Workload{NKI: *nki}, form, st, *jobs)
+	res, err := c.ExploreSpaceMode(mode, build, space, perf.Workload{NKI: *nki}, form, st, *jobs,
+		dse.SimConfig{})
 	if err != nil {
 		return err
 	}
@@ -102,8 +115,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	tab := report.SweepTable(
-		fmt.Sprintf("%s variant sweep on %s (%s; walls: host=%d dram=%d compute=%d)",
-			*kernel, target.Name, form, sw.HostWall, sw.DRAMWall, sw.ComputeWall),
+		fmt.Sprintf("%s variant sweep on %s (%s, scored by %s; walls: host=%d dram=%d compute=%d)",
+			*kernel, target.Name, form, mode, sw.HostWall, sw.DRAMWall, sw.ComputeWall),
 		sw)
 	if *csv {
 		fmt.Fprint(out, tab.CSV())
@@ -113,11 +126,24 @@ func run(args []string, out io.Writer) error {
 	if sw.Best != nil {
 		fmt.Fprintf(out, "best variant: %d lanes (EKIT %.3g/s, limited by %s)\n",
 			sw.Best.Lanes, sw.Best.EKIT, sw.Best.Breakdown.Limiter)
+		if mode == dse.EvalSim {
+			fmt.Fprintf(out, "scored by simulated cycles: %d cycles / %d items per instance (model predicted EKIT %.3g/s)\n",
+				sw.Best.SimCycles, sw.Best.SimItems, sw.Best.ModelEKIT)
+		}
 		if pt, err := roofline.FromParams(sw.Best.Par, form); err == nil {
 			fmt.Fprintf(out, "roofline: %s\n", pt)
 		}
 	} else {
 		fmt.Fprintln(out, "no variant fits the device")
+	}
+	if mode == dse.EvalHybrid {
+		cal := report.CalibrationTable("hybrid calibration: model CPKI vs simulated cycles per variant",
+			res, 0)
+		if *csv {
+			fmt.Fprint(out, cal.CSV())
+		} else {
+			fmt.Fprintln(out, cal)
+		}
 	}
 	if line := report.FrontierLine(res); line != "" {
 		fmt.Fprint(out, line)

@@ -28,6 +28,39 @@ func TestRunSweepCSV(t *testing.T) {
 	}
 }
 
+// TestRunEvalModes drives the three scorers over the same small
+// sweep: sim mode reports the measured cycles behind the best variant,
+// hybrid mode appends the calibration table, and the model-side sweep
+// structure (walls in the title) survives in all three.
+func TestRunEvalModes(t *testing.T) {
+	args := []string{"-kernel", "hotspot", "-maxlanes", "4"}
+	outputs := map[string]string{}
+	for _, mode := range []string{"model", "sim", "hybrid"} {
+		var out strings.Builder
+		if err := run(append(args, "-eval", mode), &out); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "scored by "+mode) || !strings.Contains(s, "walls") {
+			t.Errorf("%s: sweep title missing the scorer or walls:\n%s", mode, s)
+		}
+		if !strings.Contains(s, "best variant") {
+			t.Errorf("%s: no best variant", mode)
+		}
+		outputs[mode] = s
+	}
+	if !strings.Contains(outputs["sim"], "scored by simulated cycles") {
+		t.Error("sim output missing the measured-cycles line")
+	}
+	if !strings.Contains(outputs["hybrid"], "hybrid calibration") ||
+		!strings.Contains(outputs["hybrid"], "model-CPKI") {
+		t.Error("hybrid output missing the calibration table")
+	}
+	if strings.Contains(outputs["model"], "calibration") {
+		t.Error("model output unexpectedly contains a calibration table")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	cases := [][]string{
@@ -35,6 +68,7 @@ func TestRunErrors(t *testing.T) {
 		{"-target", "nope"},
 		{"-form", "Z"},
 		{"-strategy", "simulated-annealing"},
+		{"-eval", "psychic"},
 	}
 	for i, args := range cases {
 		if err := run(args, &out); err == nil {

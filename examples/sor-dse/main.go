@@ -1,10 +1,12 @@
 // sor-dse: the paper's §II/§VI-A story end to end. A scalar kernel is
 // written once in the functional front-end; reshapeTo type
 // transformations generate correct-by-construction lane variants;
-// every variant is lowered to TyTra-IR and costed in parallel by the
-// DSE engine; the sweep prints the design space with its walls and
-// selects the best variant — the guided optimisation search the cost
-// model enables.
+// every variant is lowered to TyTra-IR and scored in parallel by the
+// DSE engine's hybrid evaluator — the EKIT cost model ranks the
+// variants while the cycle-accurate pipeline simulator measures each
+// one, so the sweep prints the design space with its walls, the
+// selected best variant, and the per-variant model/sim calibration
+// cross-check.
 //
 //	go run ./examples/sor-dse
 package main
@@ -83,15 +85,15 @@ func main() {
 		log.Fatal(err)
 	}
 	build := func(lanes int) (*tir.Module, error) { return byLanes[lanes].Lower() }
-	res, err := compiler.ExploreSpace(build, space, perf.Workload{NKI: 100}, perf.FormB,
-		dse.Exhaustive{}, 0)
+	res, err := compiler.ExploreSpaceMode(dse.EvalHybrid, build, space,
+		perf.Workload{NKI: 100}, perf.FormB, dse.Exhaustive{}, 0, dse.SimConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	tab := report.NewTable(
-		fmt.Sprintf("laplace1d design space on %s (form B, NKI=100)", target.Name),
-		"lanes", "modes", "ALUTs", "%ALUT", "EKIT/s", "fits", "limit")
+		fmt.Sprintf("laplace1d design space on %s (form B, NKI=100, hybrid scorer)", target.Name),
+		"lanes", "modes", "ALUTs", "%ALUT", "EKIT/s", "sim-EKIT/s", "fits", "limit")
 	for i, p := range res.Points {
 		v := variants[i]
 		modeStr := ""
@@ -101,10 +103,15 @@ func main() {
 			}
 			modeStr += "map^" + mode.String()
 		}
-		tab.AddRow(v.Lanes(), modeStr, p.Est.Used.ALUTs, p.UtilALUT*100, p.EKIT,
+		tab.AddRow(v.Lanes(), modeStr, p.Est.Used.ALUTs, p.UtilALUT*100, p.EKIT, p.SimEKIT,
 			fmt.Sprintf("%v", p.Fits), p.Breakdown.Limiter)
 	}
 	fmt.Println(tab)
+
+	// The cross-check the hybrid scorer buys: does the model's CPKI
+	// estimate track the simulator's measured cycles on every variant?
+	fmt.Println(report.CalibrationTable(
+		"calibration: model CPKI vs simulated cycles", res, 0))
 
 	// 4. The guided search's answer.
 	if res.Best == nil {

@@ -143,11 +143,27 @@ func (c *Compiler) Explore(build dse.VariantBuilder, lanes []int, w perf.Workloa
 }
 
 // ExploreSpace explores an N-dimensional design space (lanes × DV ×
-// form, see dse.NewSpace) under a pluggable strategy, evaluating
-// points concurrently on workers goroutines (<= 0 selects GOMAXPROCS).
-// form is the default when the space has no form axis.
+// form × fclk, see dse.NewSpace) under a pluggable strategy,
+// evaluating points concurrently on workers goroutines (<= 0 selects
+// GOMAXPROCS). form is the default when the space has no form axis.
 func (c *Compiler) ExploreSpace(build dse.VariantBuilder, space *dse.Space, w perf.Workload,
 	form perf.Form, st dse.Strategy, workers int) (*dse.Result, error) {
-	eng := dse.NewEngine(space, dse.NewEvaluator(c.Model, c.BW, build, w, form), workers)
+	return c.ExploreSpaceMode(dse.EvalModel, build, space, w, form, st, workers, dse.SimConfig{})
+}
+
+// ExploreSpaceMode is ExploreSpace with a selectable variant scorer
+// (the -eval flag of cmd/tytradse): the EKIT cost model, the
+// cycle-accurate pipeline simulator, or the hybrid cross-check that
+// ranks by the model and records simulated cycles on every point (see
+// report.Calibration). sim configures the simulation workload and is
+// ignored under dse.EvalModel.
+func (c *Compiler) ExploreSpaceMode(mode dse.EvalMode, build dse.VariantBuilder,
+	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
+	sim dse.SimConfig) (*dse.Result, error) {
+	eval, err := dse.NewModeEvaluator(mode, c.Model, c.BW, build, w, form, sim)
+	if err != nil {
+		return nil, err
+	}
+	eng := dse.NewEngine(space, eval, workers)
 	return eng.Run(st)
 }

@@ -55,6 +55,28 @@ type Point struct {
 	// Fits reports whether the variant fits the device (false beyond the
 	// computation wall).
 	Fits bool
+
+	// ModelEKIT always carries the cost model's EKIT prediction, even
+	// when a simulation-backed evaluator ranked the point by SimEKIT
+	// (so EKIT != ModelEKIT under -eval=sim).
+	ModelEKIT float64
+	// SimCycles and SimItems are the per-kernel-instance cycle and
+	// work-item counts measured by the pipeline simulator; zero when
+	// the point was scored by the cost model alone.
+	SimCycles, SimItems int64
+	// SimEKIT is the simulator-backed throughput, FD / SimCycles:
+	// kernel-instances per second for a variant whose data is resident
+	// — the compute-side rate the model's CPKI estimate predicts.
+	SimEKIT float64
+}
+
+// SimCPI is the measured cycles-per-work-item of the point, or 0 when
+// it was not simulated.
+func (p *Point) SimCPI() float64 {
+	if p.SimItems == 0 {
+		return 0
+	}
+	return float64(p.SimCycles) / float64(p.SimItems)
 }
 
 // PeakUtil is the binding resource fraction of the point: the largest

@@ -24,86 +24,138 @@ type onceCell[T any] struct {
 	err  error
 }
 
+// modelEval is the memoised core of the cost-model evaluator: module
+// builds per lane count and estimates per (lanes, dv), shared between
+// the standard evaluator and the simulation-backed evaluators (which
+// need the same model-side point for the resource bars, the walls and
+// the calibration cross-check).
+type modelEval struct {
+	mdl   *costmodel.Model
+	bw    *membw.Model
+	build VariantBuilder
+	w     perf.Workload
+	form  perf.Form
+
+	builds sync.Map // lanes int -> *onceCell[*tir.Module]
+	ests   sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
+}
+
+func newModelEval(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	w perf.Workload, form perf.Form) *modelEval {
+	return &modelEval{mdl: mdl, bw: bw, build: build, w: w, form: form}
+}
+
+// module builds the lanes-axis variant once per lane count.
+func (me *modelEval) module(lanes int) (*tir.Module, error) {
+	c, _ := me.builds.LoadOrStore(lanes, &onceCell[*tir.Module]{})
+	cell := c.(*onceCell[*tir.Module])
+	cell.once.Do(func() {
+		cell.val, cell.err = me.build(lanes)
+		if cell.err != nil {
+			cell.err = fmt.Errorf("dse: building %d-lane variant: %w", lanes, cell.err)
+		}
+	})
+	return cell.val, cell.err
+}
+
+// estimate costs the (lanes, dv) variant once.
+func (me *modelEval) estimate(lanes, dv int) (*costmodel.Estimate, error) {
+	c, _ := me.ests.LoadOrStore([2]int{lanes, dv}, &onceCell[*costmodel.Estimate]{})
+	cell := c.(*onceCell[*costmodel.Estimate])
+	cell.once.Do(func() {
+		m, err := me.module(lanes)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cell.val, cell.err = me.mdl.EstimateVectorised(m, dv)
+		if cell.err != nil {
+			if dv == 1 {
+				cell.err = fmt.Errorf("dse: costing %d-lane variant: %w", lanes, cell.err)
+			} else {
+				cell.err = fmt.Errorf("dse: costing %d-lane dv=%d variant: %w", lanes, dv, cell.err)
+			}
+		}
+	})
+	return cell.val, cell.err
+}
+
+// point evaluates one variant through the cost stack, honouring the
+// lanes, dv, form and fclk axes.
+func (me *modelEval) point(s *Space, v Variant) (*Point, error) {
+	lanes := s.ValueDefault(v, AxisLanes, 1)
+	dv := s.ValueDefault(v, AxisDV, 1)
+	f := perf.Form(s.ValueDefault(v, AxisForm, int(me.form)))
+	fclkHz, err := fclkOverride(s, v)
+	if err != nil {
+		return nil, err
+	}
+	est, err := me.estimate(lanes, dv)
+	if err != nil {
+		return nil, err
+	}
+	return evalPoint(est, me.bw, me.w, f, lanes, fclkHz)
+}
+
+// fclkOverride resolves the fclk axis (MHz values) to the FD override
+// in Hz, or 0 when the space has no fclk axis and the estimate's own
+// Fmax applies. A non-positive axis value is rejected loudly: a point
+// silently priced at the default Fmax while labelled with the
+// requested fclk would poison the sweep.
+func fclkOverride(s *Space, v Variant) (float64, error) {
+	mhz, ok := s.Value(v, AxisFclk)
+	if !ok {
+		return 0, nil
+	}
+	if mhz <= 0 {
+		return 0, fmt.Errorf("dse: fclk axis value must be a positive frequency in MHz, got %d", mhz)
+	}
+	return FclkHz(mhz), nil
+}
+
 // NewEvaluator returns the standard evaluator over the paper's cost
 // stack: build the variant's module (lanes axis), cost it with the
 // calibrated resource model (dv axis selects the vectorised estimate),
 // extract the Table I parameters against the bandwidth model, and
 // evaluate EKIT under the memory-execution form (form axis, defaulting
-// to the given form when the space has no form axis).
+// to the given form when the space has no form axis). An fclk axis
+// (MHz values) overrides the device frequency FD, re-pricing
+// throughput without re-costing resources.
 //
 // costmodel.Estimate and perf.Extract are pure, so the evaluator
 // memoises module builds per lane count and estimates per (lanes, dv)
-// — a form axis re-prices throughput without re-costing resources.
+// — form and fclk axes re-price throughput from the same estimate.
 func NewEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	w perf.Workload, form perf.Form) Evaluator {
-	var (
-		builds sync.Map // lanes int -> *onceCell[*tir.Module]
-		ests   sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
-	)
-	buildModule := func(lanes int) (*tir.Module, error) {
-		c, _ := builds.LoadOrStore(lanes, &onceCell[*tir.Module]{})
-		cell := c.(*onceCell[*tir.Module])
-		cell.once.Do(func() {
-			cell.val, cell.err = build(lanes)
-			if cell.err != nil {
-				cell.err = fmt.Errorf("dse: building %d-lane variant: %w", lanes, cell.err)
-			}
-		})
-		return cell.val, cell.err
-	}
-	estimate := func(lanes, dv int) (*costmodel.Estimate, error) {
-		c, _ := ests.LoadOrStore([2]int{lanes, dv}, &onceCell[*costmodel.Estimate]{})
-		cell := c.(*onceCell[*costmodel.Estimate])
-		cell.once.Do(func() {
-			m, err := buildModule(lanes)
-			if err != nil {
-				cell.err = err
-				return
-			}
-			cell.val, cell.err = mdl.EstimateVectorised(m, dv)
-			if cell.err != nil {
-				if dv == 1 {
-					cell.err = fmt.Errorf("dse: costing %d-lane variant: %w", lanes, cell.err)
-				} else {
-					cell.err = fmt.Errorf("dse: costing %d-lane dv=%d variant: %w", lanes, dv, cell.err)
-				}
-			}
-		})
-		return cell.val, cell.err
-	}
+	me := newModelEval(mdl, bw, build, w, form)
 	return func(s *Space, v Variant) (*Point, error) {
-		for _, a := range s.Axes() {
-			switch a.Name {
-			case AxisLanes, AxisDV, AxisForm:
-			default:
-				return nil, fmt.Errorf("dse: axis %q not supported by the standard evaluator", a.Name)
-			}
-		}
-		lanes := s.ValueDefault(v, AxisLanes, 1)
-		dv := s.ValueDefault(v, AxisDV, 1)
-		f := perf.Form(s.ValueDefault(v, AxisForm, int(form)))
-		est, err := estimate(lanes, dv)
-		if err != nil {
+		if err := s.checkAxes("the standard evaluator",
+			AxisLanes, AxisDV, AxisForm, AxisFclk); err != nil {
 			return nil, err
 		}
-		return evalPoint(est, bw, w, f, lanes)
+		return me.point(s, v)
 	}
 }
 
 // evalPoint derives the full Point from a resource estimate: the Table
 // I parameter extraction, the EKIT throughput under the form, and the
-// Fig 15 utilisation bars.
+// Fig 15 utilisation bars. fclkHz > 0 overrides the extracted FD (the
+// fclk axis); 0 keeps the estimate's Fmax.
 func evalPoint(est *costmodel.Estimate, bw *membw.Model, w perf.Workload,
-	form perf.Form, lanes int) (*Point, error) {
+	form perf.Form, lanes int, fclkHz float64) (*Point, error) {
 	par, err := perf.Extract(est, bw, w)
 	if err != nil {
 		return nil, fmt.Errorf("dse: extracting %d-lane parameters: %w", lanes, err)
+	}
+	if fclkHz > 0 {
+		par.FD = fclkHz
 	}
 	ekit, bd, err := par.EKIT(form)
 	if err != nil {
 		return nil, fmt.Errorf("dse: evaluating %d-lane variant: %w", lanes, err)
 	}
-	p := &Point{Lanes: lanes, Est: est, Par: par, EKIT: ekit, Breakdown: bd, Fits: est.Fits()}
+	p := &Point{Lanes: lanes, Est: est, Par: par, EKIT: ekit, ModelEKIT: ekit,
+		Breakdown: bd, Fits: est.Fits()}
 	p.UtilALUT, p.UtilReg, p.UtilBRAM, p.UtilDSP = est.Utilisation()
 
 	// Full-rate bandwidth demand: every lane consumes one tuple per

@@ -351,12 +351,12 @@ func TestSpaceBasics(t *testing.T) {
 
 func TestStandardEvaluatorRejectsUnknownAxis(t *testing.T) {
 	mdl, bw := fixtures(t)
-	space, err := NewSpace(LanesAxis([]int{1}), Axis{Name: AxisFclk, Values: []int{100, 200}})
+	space, err := NewSpace(LanesAxis([]int{1}), Axis{Name: AxisDevice, Values: []int{0, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := NewEngine(space, NewEvaluator(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB), 2)
-	if _, err := eng.Run(Exhaustive{}); err == nil || !strings.Contains(err.Error(), "fclk") {
+	if _, err := eng.Run(Exhaustive{}); err == nil || !strings.Contains(err.Error(), "device") {
 		t.Errorf("unsupported axis accepted: %v", err)
 	}
 }

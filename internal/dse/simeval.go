@@ -1,0 +1,307 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/kernels"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/pipesim"
+	"repro/internal/tir"
+)
+
+// EvalMode selects which scorer ranks the variants of an exploration:
+// the cost model alone (the paper's flow), the cycle-accurate pipeline
+// simulator, or both — model-ranked with the simulated cycles recorded
+// per point for the calibration cross-check.
+type EvalMode int
+
+const (
+	// EvalModel scores points by the EKIT cost model (NewEvaluator).
+	EvalModel EvalMode = iota
+	// EvalSim scores points by simulated cycles: EKIT becomes
+	// FD / measured cycles-per-instance (NewSimEvaluator).
+	EvalSim
+	// EvalHybrid keeps the model's EKIT ranking and records the
+	// simulated cycles alongside it (NewHybridEvaluator), feeding the
+	// report.Calibration cross-check.
+	EvalHybrid
+)
+
+// String names the mode as the -eval flag spells it.
+func (m EvalMode) String() string {
+	switch m {
+	case EvalModel:
+		return "model"
+	case EvalSim:
+		return "sim"
+	case EvalHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("eval-?(%d)", int(m))
+}
+
+// EvalModeNames lists the canonical -eval flag values.
+func EvalModeNames() []string { return []string{"model", "sim", "hybrid"} }
+
+// ParseEvalMode resolves an -eval flag value.
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch s {
+	case "model", "":
+		return EvalModel, nil
+	case "sim", "simulate", "simulator":
+		return EvalSim, nil
+	case "hybrid":
+		return EvalHybrid, nil
+	}
+	return 0, fmt.Errorf("dse: unknown evaluation mode %q (have: %v)", s, EvalModeNames())
+}
+
+// SimConfig configures the simulation-backed evaluators' measurement
+// workload. The zero value is ready to use.
+type SimConfig struct {
+	// Warmup is the number of kernel-instances executed before
+	// measurement begins (default 0 — the Runner arena is compiled
+	// before any instance runs, so a warm-up only matters when the
+	// caller wants to shake allocator effects out of wall-clock
+	// benchmarks).
+	Warmup int
+	// Measure is the number of measured kernel-instances (default 1).
+	// The simulator is deterministic, so one instance is exact; larger
+	// values make the evaluator verify that stability and fail loudly
+	// on any nondeterminism.
+	Measure int
+	// Seed keys the deterministic input workload (default 1).
+	Seed int64
+	// Inputs overrides the workload generator; nil selects SimInputs.
+	Inputs func(m *tir.Module, seed int64) (map[string][]int64, error)
+}
+
+// withDefaults resolves the zero values.
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Measure < 1 {
+		c.Measure = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Inputs == nil {
+		c.Inputs = SimInputs
+	}
+	return c
+}
+
+// SimInputs generates the deterministic simulation workload for a
+// variant module: every input stream's memory object that no
+// processing element produces is filled with the repo's shared LCG
+// sequence (kernels.LCG) masked to the element width. The values only
+// matter for output correctness — the simulated cycle count is
+// data-independent — but they are seed-stable so any two evaluations
+// of a variant see the same workload.
+func SimInputs(m *tir.Module, seed int64) (map[string][]int64, error) {
+	produced := map[string]bool{}
+	for _, port := range m.Ports {
+		if port.Dir != tir.DirOut {
+			continue
+		}
+		so := m.Stream(port.Stream)
+		if so == nil {
+			return nil, fmt.Errorf("dse: port @%s has no stream object", port.Name)
+		}
+		produced[so.Mem] = true
+	}
+	mem := map[string][]int64{}
+	rng := kernels.NewLCG(seed)
+	for _, port := range m.Ports {
+		if port.Dir != tir.DirIn {
+			continue
+		}
+		so := m.Stream(port.Stream)
+		if so == nil {
+			return nil, fmt.Errorf("dse: port @%s has no stream object", port.Name)
+		}
+		if produced[so.Mem] {
+			continue // fed by another PE's output, not by the host
+		}
+		if _, done := mem[so.Mem]; done {
+			continue
+		}
+		mo := m.MemObject(so.Mem)
+		if mo == nil {
+			return nil, fmt.Errorf("dse: stream %%%s has no memory object", so.Name)
+		}
+		data := make([]int64, mo.Size)
+		mask := int64(mo.Elem.Mask())
+		for i := range data {
+			data[i] = int64(rng.Next()) & mask
+		}
+		mem[so.Mem] = data
+	}
+	return mem, nil
+}
+
+// simMeasure is the memoised outcome of simulating one lane-count
+// variant: per-kernel-instance cycles and work-items.
+type simMeasure struct {
+	cycles, items int64
+}
+
+// simArena owns the measurement of one lane count. The once-cell means
+// exactly one engine worker ever compiles and drives the arena's
+// pipesim.Runner; every other worker waits on the settled measurement
+// instead of sharing compiled-program scratch. fclk and form axes
+// re-price a measurement, they never re-run it — which is what makes
+// an fclk sweep through the sim evaluator nearly free.
+type simArena struct {
+	cell onceCell[simMeasure]
+}
+
+// simBacked is the shared implementation of the sim and hybrid
+// evaluators: the model half comes from the same memoised modelEval
+// the standard evaluator uses (resource bars, walls and Params are
+// identical across modes by construction), the sim half from a
+// per-lane-count measurement arena.
+type simBacked struct {
+	mode   EvalMode
+	me     *modelEval
+	cfg    SimConfig
+	arenas sync.Map // lanes int -> *simArena
+}
+
+// NewSimEvaluator returns the simulation-backed evaluator: each
+// variant is scored by measured cycles-per-instance on the compiled
+// pipeline simulator, EKIT = FD / cycles. The model still fills the
+// resource and bandwidth fields (and ModelEKIT), so walls and pruning
+// behave exactly as under the standard evaluator.
+func NewSimEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
+	return newSimBacked(EvalSim, mdl, bw, build, w, form, cfg)
+}
+
+// NewHybridEvaluator returns the cross-checking evaluator: points are
+// ranked by the model's EKIT exactly as the standard evaluator ranks
+// them, and every point additionally carries the simulated cycles
+// (SimCycles/SimItems/SimEKIT) for the report.Calibration table.
+func NewHybridEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
+	return newSimBacked(EvalHybrid, mdl, bw, build, w, form, cfg)
+}
+
+// NewModeEvaluator dispatches on an EvalMode (the -eval flag of
+// cmd/tytradse).
+func NewModeEvaluator(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
+	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig) (Evaluator, error) {
+	switch mode {
+	case EvalModel:
+		return NewEvaluator(mdl, bw, build, w, form), nil
+	case EvalSim, EvalHybrid:
+		return newSimBacked(mode, mdl, bw, build, w, form, cfg), nil
+	}
+	return nil, fmt.Errorf("dse: unknown evaluation mode %d", int(mode))
+}
+
+func newSimBacked(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
+	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
+	sv := &simBacked{mode: mode, me: newModelEval(mdl, bw, build, w, form),
+		cfg: cfg.withDefaults()}
+	return sv.eval
+}
+
+func (sv *simBacked) eval(s *Space, v Variant) (*Point, error) {
+	// No dv axis: the simulator executes one work-item per lane per
+	// cycle and cannot observe medium-grained vectorisation, so a dv
+	// sweep must stay on the model evaluator. Pure sim scoring also
+	// rejects a form axis: simulated cycles are form-independent, so
+	// EvalSim would silently tie every form at a lane count — hybrid
+	// mode keeps it, since there the model ranks.
+	allowed := []string{AxisLanes, AxisForm, AxisFclk}
+	who := "the simulation-backed evaluator"
+	if sv.mode == EvalSim {
+		allowed = []string{AxisLanes, AxisFclk}
+		who = "the sim-scored evaluator (form does not change simulated cycles; use hybrid)"
+	}
+	if err := s.checkAxes(who, allowed...); err != nil {
+		return nil, err
+	}
+	p, err := sv.me.point(s, v)
+	if err != nil {
+		return nil, err
+	}
+	lanes := s.ValueDefault(v, AxisLanes, 1)
+	meas, err := sv.measure(lanes)
+	if err != nil {
+		return nil, err
+	}
+	p.SimCycles, p.SimItems = meas.cycles, meas.items
+	// Par.FD already reflects any fclk-axis override, so the model and
+	// the simulator price the variant at the same frequency.
+	p.SimEKIT = p.Par.FD / float64(meas.cycles)
+	if math.IsNaN(p.SimEKIT) || math.IsInf(p.SimEKIT, 0) || p.SimEKIT <= 0 {
+		return nil, fmt.Errorf("dse: %d-lane variant: degenerate simulated throughput %v (FD=%v, cycles=%d)",
+			lanes, p.SimEKIT, p.Par.FD, meas.cycles)
+	}
+	if sv.mode == EvalSim {
+		p.EKIT = p.SimEKIT
+	}
+	return p, nil
+}
+
+// measure memoises the simulated per-instance (cycles, items) per lane
+// count.
+func (sv *simBacked) measure(lanes int) (simMeasure, error) {
+	c, _ := sv.arenas.LoadOrStore(lanes, &simArena{})
+	a := c.(*simArena)
+	a.cell.once.Do(func() { a.cell.val, a.cell.err = sv.runMeasurement(lanes) })
+	return a.cell.val, a.cell.err
+}
+
+// runMeasurement compiles a fresh Runner for the lane count and drives
+// the warm-up + measurement workload through it. The Runner is owned
+// by the single worker that won the arena's once — no compiled
+// program's scratch is ever shared between engine workers.
+func (sv *simBacked) runMeasurement(lanes int) (simMeasure, error) {
+	m, err := sv.me.module(lanes)
+	if err != nil {
+		return simMeasure{}, err
+	}
+	mem, err := sv.cfg.Inputs(m, sv.cfg.Seed)
+	if err != nil {
+		return simMeasure{}, fmt.Errorf("dse: generating %d-lane workload: %w", lanes, err)
+	}
+	r, err := pipesim.NewRunner(m)
+	if err != nil {
+		return simMeasure{}, fmt.Errorf("dse: compiling %d-lane variant: %w", lanes, err)
+	}
+	for i := 0; i < sv.cfg.Warmup; i++ {
+		if _, err := r.Run(mem); err != nil {
+			return simMeasure{}, fmt.Errorf("dse: simulating %d-lane variant (warm-up): %w", lanes, err)
+		}
+	}
+	var first *pipesim.Result
+	for i := 0; i < sv.cfg.Measure; i++ {
+		res, err := r.Run(mem)
+		if err != nil {
+			return simMeasure{}, fmt.Errorf("dse: simulating %d-lane variant: %w", lanes, err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Cycles != first.Cycles || res.Items != first.Items {
+			return simMeasure{}, fmt.Errorf(
+				"dse: %d-lane simulation is nondeterministic: instance 0 ran %d cycles / %d items, instance %d ran %d / %d",
+				lanes, first.Cycles, first.Items, i, res.Cycles, res.Items)
+		}
+	}
+	if first.Cycles <= 0 || first.Items <= 0 {
+		return simMeasure{}, fmt.Errorf("dse: %d-lane variant simulated no work (%d cycles, %d items)",
+			lanes, first.Cycles, first.Items)
+	}
+	return simMeasure{cycles: first.Cycles, items: first.Items}, nil
+}

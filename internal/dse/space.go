@@ -8,9 +8,10 @@ import (
 )
 
 // Well-known axis names. The standard evaluator (NewEvaluator)
-// understands lanes, dv and form; fclk and device are reserved for the
-// follow-on axes named in ROADMAP.md and are rejected until an
-// evaluator implements them.
+// understands lanes, dv, form and fclk; the simulation-backed
+// evaluators (NewSimEvaluator, NewHybridEvaluator) understand lanes,
+// form and fclk; device is reserved for the follow-on axis named in
+// ROADMAP.md and is rejected until an evaluator implements it.
 const (
 	AxisLanes  = "lanes"
 	AxisDV     = "dv"
@@ -43,6 +44,17 @@ func FormAxis(forms ...perf.Form) Axis {
 	}
 	return Axis{Name: AxisForm, Values: vals}
 }
+
+// FclkAxis is the clock-frequency axis. Values are device operating
+// frequencies in MHz (axis values are plain ints); evaluators convert
+// them to the Hz-denominated FD of Table I through FclkHz, so the cost
+// model and the simulator price a variant at the same frequency.
+func FclkAxis(mhz []int) Axis { return Axis{Name: AxisFclk, Values: mhz} }
+
+// FclkHz converts an fclk-axis value (MHz) to the FD unit of
+// perf.Params (Hz). Every evaluator must use this one conversion: the
+// fclk-units differential test pins the model and sim paths to it.
+func FclkHz(mhz int) float64 { return float64(mhz) * 1e6 }
 
 // Space is an N-dimensional design space: the cross product of its
 // axes. A Space is immutable after construction and safe for
@@ -79,6 +91,25 @@ func NewSpace(axes ...Axis) (*Space, error) {
 
 // Axes returns the axes in declaration order.
 func (s *Space) Axes() []Axis { return s.axes }
+
+// checkAxes errors when the space has an axis outside the allowed set
+// — the guard every evaluator applies so an unsupported design knob
+// fails loudly instead of being silently ignored.
+func (s *Space) checkAxes(who string, allowed ...string) error {
+	for _, a := range s.axes {
+		ok := false
+		for _, name := range allowed {
+			if a.Name == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("dse: axis %q not supported by %s", a.Name, who)
+		}
+	}
+	return nil
+}
 
 // AxisIndex returns the position of the named axis.
 func (s *Space) AxisIndex(name string) (int, bool) {

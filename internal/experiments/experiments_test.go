@@ -3,10 +3,15 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/device"
+	"repro/internal/dse"
 	"repro/internal/hlsbase"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/tir"
 )
 
 func TestFig9Experiment(t *testing.T) {
@@ -112,5 +117,95 @@ func TestEstimatorSpeedExperiment(t *testing.T) {
 	}
 	if !strings.Contains(r.Table().String(), "x faster") {
 		t.Error("speed table missing comparison")
+	}
+}
+
+// TestFig15HybridExperiment runs the hybrid-mode Fig 15 sweep at the
+// trimmed NDRange and cross-checks it against a model-only exploration
+// of the same spec: identical walls, identical model scores, and every
+// calibration row inside the tolerance band with no drift flags.
+func TestFig15HybridExperiment(t *testing.T) {
+	r, err := Fig15Hybrid(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Calibration) == 0 {
+		t.Fatal("no calibration rows")
+	}
+	if len(r.Calibration) != len(r.B.Points) {
+		t.Errorf("%d calibration rows for %d points", len(r.Calibration), len(r.B.Points))
+	}
+	for _, row := range r.Calibration {
+		if row.Drift {
+			t.Errorf("%s: model/sim ratio %.3f drifted past the tolerance", row.Variant, row.Ratio)
+		}
+		if row.SimCPKI <= 0 || row.ModelCPKI <= 0 {
+			t.Errorf("%s: degenerate cycle counts %d / %d", row.Variant, row.ModelCPKI, row.SimCPKI)
+		}
+	}
+
+	mdl, err := costmodel.Calibrate(r.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := membw.Build(r.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(lanes int) (*tir.Module, error) { return fig15HybridSpec(false, lanes).Module() }
+	lanes := dse.DivisorLaneCounts(fig15HybridSpec(false, 1).GlobalSize(), 16)
+	model, err := dse.SweepLanes(mdl, bw, build, lanes, perf.Workload{NKI: 10}, perf.FormB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.B.ComputeWall != model.ComputeWall || r.B.DRAMWall != model.DRAMWall ||
+		r.B.HostWall != model.HostWall {
+		t.Errorf("hybrid walls (%d,%d,%d) != model walls (%d,%d,%d)",
+			r.B.ComputeWall, r.B.HostWall, r.B.DRAMWall,
+			model.ComputeWall, model.HostWall, model.DRAMWall)
+	}
+	for i := range model.Points {
+		if r.B.Points[i].EKIT != model.Points[i].EKIT {
+			t.Errorf("lanes=%d: hybrid EKIT %g != model EKIT %g",
+				model.Points[i].Lanes, r.B.Points[i].EKIT, model.Points[i].EKIT)
+		}
+	}
+
+	tab := r.Table().String()
+	for _, k := range []string{"hybrid", "model-CPKI", "sim-CPKI", "walls"} {
+		if !strings.Contains(tab, k) {
+			t.Errorf("hybrid table missing %q", k)
+		}
+	}
+}
+
+// TestDSESimBenchReport checks the BENCH_DSE_SIM.json schema: all nine
+// (mode, lanes) rows present, positive measurements, sim fields only
+// on the sim-backed modes.
+func TestDSESimBenchReport(t *testing.T) {
+	r, err := DSESimBench(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != "tytra-bench-dse-sim/v1" {
+		t.Errorf("schema = %q", r.Schema)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.NsOp <= 0 || row.ModelEKIT <= 0 || row.ModelCPKI <= 0 {
+			t.Errorf("%s lanes=%d: non-positive measurement: %+v", row.Mode, row.Lanes, row)
+		}
+		simBacked := row.Mode == "sim" || row.Mode == "hybrid"
+		if simBacked && (row.SimCycles <= 0 || row.SimEKIT <= 0) {
+			t.Errorf("%s lanes=%d: sim fields missing", row.Mode, row.Lanes)
+		}
+		if !simBacked && (row.SimCycles != 0 || row.SimEKIT != 0) {
+			t.Errorf("model lanes=%d: unexpected sim fields: %+v", row.Lanes, row)
+		}
+	}
+	if !strings.Contains(r.JSON(), `"tytra-bench-dse-sim/v1"`) {
+		t.Error("JSON rendering missing the schema")
 	}
 }

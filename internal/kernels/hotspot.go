@@ -132,7 +132,7 @@ func (h HotspotSpec) Module() (*tir.Module, error) {
 // MakeInputs implements Spec.
 func (h HotspotSpec) MakeInputs(seed int64) map[string][]int64 {
 	n := h.GlobalSize()
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	t := make([]int64, n)
 	power := make([]int64, n)
 	rx := make([]int64, n)

@@ -56,30 +56,35 @@ type LanedSpec interface {
 	LaneCount() int
 }
 
-// lcg is a deterministic linear congruential generator for workloads:
-// the same seed always produces the same streams, so golden values,
-// simulation results and benchmarks are reproducible.
-type lcg struct{ state uint64 }
+// LCG is the deterministic linear congruential generator every
+// workload in the repo draws from: the same seed always produces the
+// same streams, so golden values, simulation results and benchmarks
+// are reproducible. It is exported so other workload producers (the
+// DSE simulation evaluator's dse.SimInputs) share this one generator
+// instead of copying its constants.
+type LCG struct{ state uint64 }
 
-func newLCG(seed int64) *lcg {
-	return &lcg{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
+// NewLCG seeds a generator.
+func NewLCG(seed int64) *LCG {
+	return &LCG{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
 }
 
-func (r *lcg) next() uint64 {
+// Next returns the next raw 48-bit draw.
+func (r *LCG) Next() uint64 {
 	r.state = r.state*6364136223846793005 + 1442695040888963407
 	return r.state >> 16
 }
 
 // uniform returns a value in [0, n).
-func (r *lcg) uniform(n int64) int64 {
+func (r *LCG) uniform(n int64) int64 {
 	if n <= 0 {
 		return 0
 	}
-	return int64(r.next() % uint64(n))
+	return int64(r.Next() % uint64(n))
 }
 
 // fill populates a slice with uniform values in [0, n).
-func (r *lcg) fill(dst []int64, n int64) {
+func (r *LCG) fill(dst []int64, n int64) {
 	for i := range dst {
 		dst[i] = r.uniform(n)
 	}

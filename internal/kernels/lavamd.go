@@ -122,7 +122,7 @@ func (l LavaMDSpec) Module() (*tir.Module, error) {
 // MakeInputs implements Spec.
 func (l LavaMDSpec) MakeInputs(seed int64) map[string][]int64 {
 	n := l.GlobalSize()
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	out := map[string][]int64{}
 	for _, name := range []string{"xi", "yi", "zi", "xj", "yj", "zj"} {
 		a := make([]int64, n)

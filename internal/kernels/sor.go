@@ -139,7 +139,7 @@ func (s SORSpec) Module() (*tir.Module, error) {
 // in [0, 2^8).
 func (s SORSpec) MakeInputs(seed int64) map[string][]int64 {
 	n := s.GlobalSize()
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	p := make([]int64, n)
 	rhs := make([]int64, n)
 	r.fill(p, sorPMax)

@@ -122,7 +122,7 @@ func (s SRADSpec) Module() (*tir.Module, error) {
 // MakeInputs implements Spec.
 func (s SRADSpec) MakeInputs(seed int64) map[string][]int64 {
 	n := s.GlobalSize()
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	img := make([]int64, n)
 	r.fill(img, sradJMax)
 	return map[string][]int64{"img": img}

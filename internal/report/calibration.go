@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dse"
+)
+
+// DefaultCalibrationTol is the model/sim cycle-ratio drift past which
+// a calibration row is flagged: the same ±20% band the pipesim
+// differential fuzz tests hold the CPKI estimate to.
+const DefaultCalibrationTol = 0.20
+
+// CalibrationRow is one variant of the hybrid evaluator's
+// model-versus-simulator cross-check.
+type CalibrationRow struct {
+	// Variant is the point's coordinate ("lanes=4 form=1").
+	Variant string
+	// ModelCPKI is the cost model's cycles-per-kernel-instance
+	// estimate; SimCPKI is the cycles the pipeline simulator measured.
+	ModelCPKI, SimCPKI int64
+	// Ratio is ModelCPKI / SimCPKI: 1.0 means the model predicts the
+	// simulated cycles exactly.
+	Ratio float64
+	// ModelEKIT and SimEKIT are the two throughput figures of the
+	// point (the model's memory-aware EKIT and the simulator's
+	// compute-side FD/cycles rate).
+	ModelEKIT, SimEKIT float64
+	// Drift reports |Ratio - 1| > tolerance.
+	Drift bool
+}
+
+// Calibration extracts the per-variant model/sim cycle comparison from
+// a hybrid (or sim) exploration result. Points without simulated
+// cycles (model-only evaluations, unevaluated variants) are skipped.
+// tol <= 0 selects DefaultCalibrationTol.
+func Calibration(res *dse.Result, tol float64) []CalibrationRow {
+	if tol <= 0 {
+		tol = DefaultCalibrationTol
+	}
+	var rows []CalibrationRow
+	for i, p := range res.Points {
+		if p == nil || p.SimCycles == 0 {
+			continue
+		}
+		row := CalibrationRow{
+			Variant:   res.Space.Describe(res.Variants[i]),
+			ModelCPKI: p.Est.CPKI(p.Par.NGS),
+			SimCPKI:   p.SimCycles,
+			ModelEKIT: p.ModelEKIT,
+			SimEKIT:   p.SimEKIT,
+		}
+		row.Ratio = float64(row.ModelCPKI) / float64(row.SimCPKI)
+		row.Drift = math.Abs(row.Ratio-1) > tol
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CalibrationTable renders the cross-check for the terminal: one row
+// per simulated variant with the model's CPKI estimate against the
+// measured cycles, the ratio, both throughput figures, and a DRIFT
+// flag where the ratio leaves the tolerance band.
+func CalibrationTable(title string, res *dse.Result, tol float64) *Table {
+	return CalibrationRowsTable(title, Calibration(res, tol), tol)
+}
+
+// CalibrationRowsTable is CalibrationTable over precomputed rows, for
+// callers that already extracted (and perhaps inspected) them. tol
+// only labels the DRIFT flag; the Drift verdict was fixed when the
+// rows were extracted.
+func CalibrationRowsTable(title string, rows []CalibrationRow, tol float64) *Table {
+	if tol <= 0 {
+		tol = DefaultCalibrationTol
+	}
+	t := NewTable(title,
+		"variant", "model-CPKI", "sim-CPKI", "model/sim", "model-EKIT/s", "sim-EKIT/s", "flag")
+	for _, r := range rows {
+		flag := "ok"
+		if r.Drift {
+			flag = fmt.Sprintf("DRIFT>%d%%", int(tol*100))
+		}
+		t.AddRow(r.Variant, r.ModelCPKI, r.SimCPKI, r.Ratio, r.ModelEKIT, r.SimEKIT, flag)
+	}
+	return t
+}
