@@ -5,6 +5,7 @@
 //	tytrabench -exp fig10    sustained stream bandwidth (Fig 10)
 //	tytrabench -exp fig15    SOR variant sweep with walls (Fig 15)
 //	tytrabench -exp fig15h   Fig 15 in hybrid mode: model vs simulated cycles
+//	tytrabench -exp fig15d   Fig 15 replayed per device across the shelf
 //	tytrabench -exp table2   estimated vs actual accuracy (Table II)
 //	tytrabench -exp fig17    case-study runtime (Fig 17)
 //	tytrabench -exp fig18    case-study energy (Fig 18)
@@ -41,7 +42,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tytrabench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig9|fig10|fig15|fig15h|table2|fig17|fig18|speed|all")
+	exp := fs.String("exp", "all", "experiment: fig9|fig10|fig15|fig15h|fig15d|table2|fig17|fig18|speed|all")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	full := fs.Bool("full", true, "use the paper-scale workloads (slower)")
 	jsonOut := fs.Bool("json", false, "emit a benchmark report as JSON (see -report)")
@@ -127,6 +128,14 @@ func run(args []string, out io.Writer) error {
 		// verdict — model CPKI tracking simulated cycles per variant
 		// — is what carries over.
 		r, err := experiments.Fig15Hybrid(*full && *exp == "fig15h")
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
+	}
+	if want("fig15d") {
+		ran = true
+		r, err := experiments.Fig15Devices()
 		if err != nil {
 			return err
 		}

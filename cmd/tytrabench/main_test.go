@@ -8,10 +8,11 @@ import (
 
 func TestRunSingleExperiments(t *testing.T) {
 	cases := map[string]string{
-		"fig9":  "resource cost curves",
-		"fig17": "normalised to cpu",
-		"fig18": "delta-energy",
-		"speed": "estimator",
+		"fig9":   "resource cost curves",
+		"fig15d": "Fig 15 per device",
+		"fig17":  "normalised to cpu",
+		"fig18":  "delta-energy",
+		"speed":  "estimator",
 	}
 	for exp, want := range cases {
 		var out strings.Builder

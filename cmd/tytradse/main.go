@@ -8,6 +8,7 @@
 //
 //	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
 //	         [-strategy exhaustive|wall-pruned|pareto] [-eval model|sim|hybrid] [-j N] [-csv]
+//	         [-devices name,name,...]
 //
 // The -strategy flag selects the exploration strategy: "exhaustive"
 // costs every variant, "wall-pruned" stops the lane sweep once a
@@ -23,6 +24,15 @@
 // "hybrid" ranks by the model while recording the simulated cycles,
 // printing the per-variant model/sim calibration table under the
 // sweep.
+//
+// -devices sweeps the variant family across a shelf of targets in one
+// lanes×device engine run instead of a single -target: the cost and
+// bandwidth models are calibrated once per device (lazily, as the
+// strategy reaches it), each device's rows print exactly as the
+// corresponding single-device run would print them, and a cross-device
+// summary with the shelf-wide best design follows. Target names come
+// from the device registry (device.Names); unknown names list the
+// valid ones.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -49,10 +60,26 @@ func main() {
 	}
 }
 
+// options is the parsed flag set shared by the single- and
+// multi-device paths.
+type options struct {
+	kernel   string
+	form     perf.Form
+	mode     dse.EvalMode
+	strategy dse.Strategy
+	nki      int64
+	maxLanes int
+	jobs     int
+	csv      bool
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tytradse", flag.ContinueOnError)
 	kernel := fs.String("kernel", "sor", "kernel family to explore (sor | hotspot | lavamd)")
-	targetName := fs.String("target", "stratix-v-gsd8-edu", "FPGA target (also: stratix-v-gsd8, virtex-7-690t)")
+	targetName := fs.String("target", "stratix-v-gsd8-edu",
+		fmt.Sprintf("FPGA target (%s)", strings.Join(device.Names(), " | ")))
+	devices := fs.String("devices", "",
+		"comma-separated device shelf for a cross-device sweep (overrides -target)")
 	maxLanes := fs.Int("maxlanes", 16, "largest lane count to sweep")
 	formName := fs.String("form", "B", "memory-execution form (A | B | C)")
 	nki := fs.Int64("nki", 10, "kernel-instance repetitions")
@@ -72,23 +99,27 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	var target *device.Target
-	if *targetName == "stratix-v-gsd8-edu" || *targetName == "edu" {
-		target = device.GSD8Edu()
-	} else {
-		var err error
-		target, err = device.ByName(*targetName)
-		if err != nil {
-			return err
-		}
-	}
 	form, err := perf.ParseForm(*formName)
 	if err != nil {
 		return err
 	}
+	opt := options{kernel: *kernel, form: form, mode: mode, strategy: st,
+		nki: *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv}
 
-	build, ngs, err := variantFamily(*kernel)
+	if *devices != "" {
+		return runDevices(out, opt, strings.Split(*devices, ","))
+	}
+	return runSingle(out, opt, *targetName)
+}
+
+// runSingle is the classic single-target exploration.
+func runSingle(out io.Writer, opt options, targetName string) error {
+	target, err := device.Lookup(targetName)
+	if err != nil {
+		return err
+	}
+
+	build, ngs, err := variantFamily(opt.kernel)
 	if err != nil {
 		return err
 	}
@@ -99,51 +130,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	lanes := dse.DivisorLaneCounts(ngs, *maxLanes)
+	lanes := dse.DivisorLaneCounts(ngs, opt.maxLanes)
 	space, err := dse.NewSpace(dse.LanesAxis(lanes))
 	if err != nil {
 		return err
 	}
-	res, err := c.ExploreSpaceMode(mode, build, space, perf.Workload{NKI: *nki}, form, st, *jobs,
-		dse.SimConfig{})
+	res, err := c.ExploreSpaceMode(opt.mode, build, space, perf.Workload{NKI: opt.nki},
+		opt.form, opt.strategy, opt.jobs, dse.SimConfig{})
 	if err != nil {
 		return err
 	}
-	sw, err := res.Sweep(form)
+	sw, err := res.Sweep(opt.form)
 	if err != nil {
 		return err
 	}
 
-	tab := report.SweepTable(
-		fmt.Sprintf("%s variant sweep on %s (%s, scored by %s; walls: host=%d dram=%d compute=%d)",
-			*kernel, target.Name, form, mode, sw.HostWall, sw.DRAMWall, sw.ComputeWall),
-		sw)
-	if *csv {
-		fmt.Fprint(out, tab.CSV())
-	} else {
-		fmt.Fprintln(out, tab)
-	}
-	if sw.Best != nil {
-		fmt.Fprintf(out, "best variant: %d lanes (EKIT %.3g/s, limited by %s)\n",
-			sw.Best.Lanes, sw.Best.EKIT, sw.Best.Breakdown.Limiter)
-		if mode == dse.EvalSim {
-			fmt.Fprintf(out, "scored by simulated cycles: %d cycles / %d items per instance (model predicted EKIT %.3g/s)\n",
-				sw.Best.SimCycles, sw.Best.SimItems, sw.Best.ModelEKIT)
-		}
-		if pt, err := roofline.FromParams(sw.Best.Par, form); err == nil {
-			fmt.Fprintf(out, "roofline: %s\n", pt)
-		}
-	} else {
-		fmt.Fprintln(out, "no variant fits the device")
-	}
-	if mode == dse.EvalHybrid {
+	printSweepBlock(out, opt, target.Name, sw)
+	if opt.mode == dse.EvalHybrid {
 		cal := report.CalibrationTable("hybrid calibration: model CPKI vs simulated cycles per variant",
 			res, 0)
-		if *csv {
-			fmt.Fprint(out, cal.CSV())
-		} else {
-			fmt.Fprintln(out, cal)
-		}
+		emitTable(out, opt.csv, cal)
 	}
 	if line := report.FrontierLine(res); line != "" {
 		fmt.Fprint(out, line)
@@ -151,6 +157,113 @@ func run(args []string, out io.Writer) error {
 	// The feedback path: what to transform next (§I's targeted tuning).
 	fmt.Fprint(out, dse.Advise(sw))
 	return nil
+}
+
+// runDevices is the cross-device exploration: one lanes×device engine
+// run over the named shelf, printed as per-device sweeps (identical to
+// the single-device output) plus the shelf-wide comparison.
+func runDevices(out io.Writer, opt options, names []string) error {
+	shelf, err := device.Shelf(names...)
+	if err != nil {
+		return err
+	}
+	build, ngs, err := variantFamily(opt.kernel)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "exploring across %d devices (models calibrated once per device)...\n", len(shelf))
+	lanes := dse.DivisorLaneCounts(ngs, opt.maxLanes)
+	space, err := dse.NewSpace(dse.LanesAxis(lanes), dse.DeviceAxis(shelf...))
+	if err != nil {
+		return err
+	}
+	res, err := core.ExploreDevices(opt.mode, shelf, build, space, perf.Workload{NKI: opt.nki},
+		opt.form, opt.strategy, opt.jobs, dse.SimConfig{})
+	if err != nil {
+		return err
+	}
+
+	sweeps := make([]*dse.Sweep, len(shelf))
+	for i, tgt := range shelf {
+		slice, err := res.Slice(dse.AxisDevice, i)
+		if err != nil {
+			return err
+		}
+		if len(slice.Points) == 0 {
+			// A pruning strategy may never reach a device; keep the shelf
+			// order but say so instead of printing an empty table.
+			fmt.Fprintf(out, "%s: no variants evaluated (pruned)\n", tgt.Name)
+			continue
+		}
+		sw, err := slice.Sweep(opt.form)
+		if err != nil {
+			return err
+		}
+		sweeps[i] = sw
+		printSweepBlock(out, opt, tgt.Name, sw)
+	}
+	if opt.mode == dse.EvalHybrid {
+		cal := report.CalibrationTable("hybrid calibration: model CPKI vs simulated cycles per variant",
+			res, 0)
+		emitTable(out, opt.csv, cal)
+	}
+
+	summary, err := report.DeviceSummaryTable(
+		fmt.Sprintf("cross-device summary: %s on %d devices (%s, scored by %s)",
+			opt.kernel, len(shelf), opt.form, opt.mode), res)
+	if err != nil {
+		return err
+	}
+	emitTable(out, opt.csv, summary)
+	if line := report.FrontierLine(res); line != "" {
+		fmt.Fprint(out, line)
+	}
+	if res.Best != nil {
+		fmt.Fprintf(out, "best overall: %s with %d lanes (EKIT %.3g/s)\n",
+			res.Best.Device, res.Best.Lanes, res.Best.EKIT)
+		for i, tgt := range shelf {
+			if tgt.Name == res.Best.Device && sweeps[i] != nil {
+				fmt.Fprint(out, dse.Advise(sweeps[i]))
+			}
+		}
+	} else {
+		fmt.Fprintln(out, "no variant fits any device on the shelf")
+	}
+	return nil
+}
+
+// printSweepBlock prints one device's sweep exactly as the
+// single-target run prints it: table, best-variant lines, roofline.
+// The cross-device path reuses it per shelf entry, which is what makes
+// per-device rows bit-identical between the two paths.
+func printSweepBlock(out io.Writer, opt options, targetName string, sw *dse.Sweep) {
+	tab := report.SweepTable(
+		fmt.Sprintf("%s variant sweep on %s (%s, scored by %s; walls: host=%d dram=%d compute=%d)",
+			opt.kernel, targetName, opt.form, opt.mode, sw.HostWall, sw.DRAMWall, sw.ComputeWall),
+		sw)
+	emitTable(out, opt.csv, tab)
+	if sw.Best != nil {
+		fmt.Fprintf(out, "best variant: %d lanes (EKIT %.3g/s, limited by %s)\n",
+			sw.Best.Lanes, sw.Best.EKIT, sw.Best.Breakdown.Limiter)
+		if opt.mode == dse.EvalSim {
+			fmt.Fprintf(out, "scored by simulated cycles: %d cycles / %d items per instance (model predicted EKIT %.3g/s)\n",
+				sw.Best.SimCycles, sw.Best.SimItems, sw.Best.ModelEKIT)
+		}
+		if pt, err := roofline.FromParams(sw.Best.Par, opt.form); err == nil {
+			fmt.Fprintf(out, "roofline: %s\n", pt)
+		}
+	} else {
+		fmt.Fprintln(out, "no variant fits the device")
+	}
+}
+
+func emitTable(out io.Writer, csv bool, t *report.Table) {
+	if csv {
+		fmt.Fprint(out, t.CSV())
+	} else {
+		fmt.Fprintln(out, t)
+	}
 }
 
 // variantFamily returns the lane-parameterised builder for a kernel and

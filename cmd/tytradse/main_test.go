@@ -69,11 +69,121 @@ func TestRunErrors(t *testing.T) {
 		{"-form", "Z"},
 		{"-strategy", "simulated-annealing"},
 		{"-eval", "psychic"},
+		{"-devices", " , "},
+		{"-devices", "stratix-v-gsd8,atari-2600"},
+		{"-devices", "stratix-v-gsd8,maia"}, // aliased duplicate
 	}
 	for i, args := range cases {
 		if err := run(args, &out); err == nil {
 			t.Errorf("case %d (%v): no error", i, args)
 		}
+	}
+}
+
+// TestRunUnknownTargetListsNames: the registry-backed lookup must name
+// the valid targets instead of leaving the user to guess (the old
+// parser silently special-cased "edu" and then listed only two names).
+func TestRunUnknownTargetListsNames(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-target", "cyclone-ii"}, &out)
+	if err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	for _, want := range []string{"stratix-v-gsd8", "virtex-7-690t", "stratix-v-gsd8-edu"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+// TestRunEduTargetViaRegistry: both spellings of the educational
+// target route through the registry (the old code special-cased them
+// before the parser).
+func TestRunEduTargetViaRegistry(t *testing.T) {
+	for _, name := range []string{"edu", "stratix-v-gsd8-edu"} {
+		var out strings.Builder
+		if err := run([]string{"-maxlanes", "2", "-target", name}, &out); err != nil {
+			t.Fatalf("-target %s: %v", name, err)
+		}
+		if !strings.Contains(out.String(), "stratix-v-gsd8-edu") {
+			t.Errorf("-target %s: output does not name the resolved target", name)
+		}
+	}
+}
+
+// sweepBlock extracts the per-device output block — the sweep table
+// through the roofline line — for one device from a run's output.
+func sweepBlock(t *testing.T, out, device string) string {
+	t.Helper()
+	title := "sor variant sweep on " + device
+	start := strings.Index(out, title)
+	if start < 0 {
+		t.Fatalf("output has no sweep table for %s:\n%s", device, out)
+	}
+	rest := out[start:]
+	roof := strings.Index(rest, "roofline: ")
+	if roof < 0 {
+		t.Fatalf("no roofline line after the %s table:\n%s", device, rest)
+	}
+	end := roof + strings.IndexByte(rest[roof:], '\n') + 1
+	return rest[:end]
+}
+
+// TestRunDevicesMatchesSingleDeviceRuns is the acceptance check for
+// the cross-device sweep: each device's rows in a -devices run are
+// bit-identical to the corresponding single -target run, at any
+// worker count.
+func TestRunDevicesMatchesSingleDeviceRuns(t *testing.T) {
+	shelf := []string{"stratix-v-gsd8", "virtex-7-690t"}
+	args := []string{"-kernel", "sor", "-maxlanes", "16", "-strategy", "pareto",
+		"-devices", strings.Join(shelf, ",")}
+	var multiSerial, multiParallel strings.Builder
+	if err := run(append(args, "-j", "1"), &multiSerial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-j", "8"), &multiParallel); err != nil {
+		t.Fatal(err)
+	}
+	if multiSerial.String() != multiParallel.String() {
+		t.Errorf("-j=8 cross-device output differs from -j=1:\n--- j=1\n%s\n--- j=8\n%s",
+			multiSerial.String(), multiParallel.String())
+	}
+	for _, dev := range shelf {
+		var single strings.Builder
+		if err := run([]string{"-kernel", "sor", "-maxlanes", "16", "-strategy", "pareto",
+			"-target", dev}, &single); err != nil {
+			t.Fatal(err)
+		}
+		got := sweepBlock(t, multiSerial.String(), dev)
+		want := sweepBlock(t, single.String(), dev)
+		if got != want {
+			t.Errorf("%s: cross-device block differs from the single-device run:\n--- devices\n%s\n--- single\n%s",
+				dev, got, want)
+		}
+	}
+	s := multiSerial.String()
+	for _, want := range []string{"cross-device summary", "pareto frontier", "best overall:", "device="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cross-device output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunDevicesHybrid: the calibration cross-check table labels its
+// rows with the device axis.
+func TestRunDevicesHybrid(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-kernel", "hotspot", "-maxlanes", "2",
+		"-devices", "edu,virtex-7-690t", "-eval", "hybrid"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "hybrid calibration") {
+		t.Fatalf("no calibration table:\n%s", s)
+	}
+	if !strings.Contains(s, "device=stratix-v-gsd8-edu") || !strings.Contains(s, "device=virtex-7-690t") {
+		t.Errorf("calibration rows not labelled per device:\n%s", s)
 	}
 }
 

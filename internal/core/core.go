@@ -167,3 +167,24 @@ func (c *Compiler) ExploreSpaceMode(mode dse.EvalMode, build dse.VariantBuilder,
 	eng := dse.NewEngine(space, eval, workers)
 	return eng.Run(st)
 }
+
+// ExploreDevices explores a design space that includes the device
+// axis: one engine run sweeping the variant family across a shelf of
+// targets (lanes × form × … × device). Unlike the Compiler methods it
+// is not bound to a single pre-calibrated target — the per-device
+// evaluator calibrates the cost and bandwidth models lazily, exactly
+// once per shelf entry (dse.ModelCache), so Fig 2's one-time-per-target
+// work is paid only for devices the strategy actually visits. The
+// space's device axis must be built from the same shelf slice
+// (dse.DeviceAxis(shelf...)); per-device slices of the result are
+// point-identical to single-device ExploreSpaceMode runs.
+func ExploreDevices(mode dse.EvalMode, shelf []*device.Target, build dse.VariantBuilder,
+	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
+	sim dse.SimConfig) (*dse.Result, error) {
+	eval, err := dse.NewDeviceModeEvaluator(mode, shelf, build, w, form, sim)
+	if err != nil {
+		return nil, err
+	}
+	eng := dse.NewEngine(space, eval, workers)
+	return eng.Run(st)
+}

@@ -10,7 +10,10 @@
 // ADM-PCIE-7V3 board of the Fig 10 bandwidth experiments).
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Resources is a bundle of FPGA resource quantities. The same struct is
 // used both for device capacities and for design utilisation, so the two
@@ -24,19 +27,54 @@ type Resources struct {
 	DSPs  int // DSP elements (18x18 multiplier halves on Stratix-V)
 }
 
-// Add returns the element-wise sum of r and s.
+// addSat sums non-negative resource counts, saturating at math.MaxInt
+// instead of wrapping: a design too big to count must still compare as
+// too big to fit.
+func addSat(a, b int) int {
+	if s := a + b; !(a >= 0 && b >= 0 && s < 0) {
+		return s
+	}
+	return math.MaxInt
+}
+
+// mulSat multiplies non-negative resource counts with the same
+// saturation. BRAM is counted in bits, so a large per-lane footprint
+// times a high lane count is the first place plain int arithmetic
+// would wrap (to a negative total that FitsIn would wave through).
+func mulSat(a, n int) int {
+	if a <= 0 || n <= 0 {
+		return a * n
+	}
+	p := a * n
+	if p/n != a {
+		return math.MaxInt
+	}
+	return p
+}
+
+// Add returns the element-wise sum of r and s, saturating at
+// math.MaxInt.
 func (r Resources) Add(s Resources) Resources {
 	return Resources{
-		ALUTs: r.ALUTs + s.ALUTs,
-		Regs:  r.Regs + s.Regs,
-		BRAM:  r.BRAM + s.BRAM,
-		DSPs:  r.DSPs + s.DSPs,
+		ALUTs: addSat(r.ALUTs, s.ALUTs),
+		Regs:  addSat(r.Regs, s.Regs),
+		BRAM:  addSat(r.BRAM, s.BRAM),
+		DSPs:  addSat(r.DSPs, s.DSPs),
 	}
 }
 
-// Scale returns r with every field multiplied by n.
+// Scale returns r with every field multiplied by n. Products that
+// overflow int saturate at math.MaxInt — BRAM bits times a high lane
+// count is the realistic overflow (especially on 32-bit ints), and a
+// wrapped negative total would make FitsIn accept a design the device
+// cannot possibly host.
 func (r Resources) Scale(n int) Resources {
-	return Resources{ALUTs: r.ALUTs * n, Regs: r.Regs * n, BRAM: r.BRAM * n, DSPs: r.DSPs * n}
+	return Resources{
+		ALUTs: mulSat(r.ALUTs, n),
+		Regs:  mulSat(r.Regs, n),
+		BRAM:  mulSat(r.BRAM, n),
+		DSPs:  mulSat(r.DSPs, n),
+	}
 }
 
 // FitsIn reports whether r fits within the capacity c.
@@ -45,11 +83,19 @@ func (r Resources) FitsIn(c Resources) bool {
 }
 
 // Utilisation returns the per-resource fraction of capacity c consumed by
-// r, in the order ALUTs, Regs, BRAM, DSPs. Capacities of zero yield zero.
+// r, in the order ALUTs, Regs, BRAM, DSPs. A resource the capacity has
+// none of is 0 when unused and +Inf when the design uses it — the design
+// is infeasible on that device, and reporting 0 there would let
+// MaxUtilisation call a design comfortable on a device that cannot host
+// it at all (FitsIn and MaxUtilisation must agree: fraction > 1 on some
+// resource exactly when the design does not fit).
 func (r Resources) Utilisation(c Resources) (aluts, regs, bram, dsps float64) {
 	frac := func(used, cap int) float64 {
 		if cap == 0 {
-			return 0
+			if used == 0 {
+				return 0
+			}
+			return math.Inf(1)
 		}
 		return float64(used) / float64(cap)
 	}
@@ -263,18 +309,5 @@ func IntelI7Quad16() *HostCPU {
 		IPC:            1.45,
 		DeltaWatts:     52,
 		MemBWBytesPerS: 9e9,
-	}
-}
-
-// ByName returns a built-in target by name. It is the lookup used by the
-// command-line tools.
-func ByName(name string) (*Target, error) {
-	switch name {
-	case "stratix-v-gsd8", "stratix-v", "maia":
-		return StratixVGSD8(), nil
-	case "virtex-7-690t", "virtex-7", "adm-pcie-7v3":
-		return Virtex7690T(), nil
-	default:
-		return nil, fmt.Errorf("device: unknown target %q (want stratix-v-gsd8 or virtex-7-690t)", name)
 	}
 }

@@ -1,6 +1,9 @@
 package device
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestResourcesArithmetic(t *testing.T) {
 	a := Resources{ALUTs: 1, Regs: 2, BRAM: 3, DSPs: 4}
@@ -10,6 +13,78 @@ func TestResourcesArithmetic(t *testing.T) {
 	}
 	if got := a.Scale(3); got != (Resources{3, 6, 9, 12}) {
 		t.Errorf("Scale = %v", got)
+	}
+}
+
+// TestScaleOverflowSaturates is the regression for the BRAM-bits
+// overflow: a large per-lane footprint times a high lane count must
+// saturate, not wrap to a negative total that FitsIn would accept.
+func TestScaleOverflowSaturates(t *testing.T) {
+	perLane := Resources{ALUTs: 1000, Regs: 2000, BRAM: math.MaxInt/2 + 2, DSPs: 4}
+	got := perLane.Scale(2)
+	if got.BRAM != math.MaxInt {
+		t.Errorf("overflowing Scale BRAM = %d, want saturation at MaxInt", got.BRAM)
+	}
+	if got.ALUTs != 2000 || got.Regs != 4000 || got.DSPs != 8 {
+		t.Errorf("non-overflowing fields disturbed: %v", got)
+	}
+	if got.FitsIn(StratixVGSD8().Capacity) {
+		t.Error("saturated design reported as fitting the GSD8")
+	}
+	if frac, _ := got.MaxUtilisation(StratixVGSD8().Capacity); frac <= 1 {
+		t.Errorf("saturated design MaxUtilisation = %v, want > 1", frac)
+	}
+	// Saturated totals must stay saturated through Add, not wrap there
+	// instead.
+	if sum := got.Add(perLane); sum.BRAM != math.MaxInt {
+		t.Errorf("Add after saturation wrapped to %d", sum.BRAM)
+	}
+	// A huge lane count against a realistic footprint.
+	kernel := Resources{ALUTs: 500, Regs: 900, BRAM: 4 << 20, DSPs: 2}
+	big := kernel.Scale(math.MaxInt / (4 << 20) * 2)
+	if big.BRAM != math.MaxInt || big.BRAM < 0 {
+		t.Errorf("high-lane Scale BRAM = %d, want MaxInt", big.BRAM)
+	}
+}
+
+// TestInfeasibleResourceUtilisation is the regression for the
+// zero-capacity bug: a design using a resource the device has none of
+// must report it infeasible (+Inf), so MaxUtilisation and FitsIn agree.
+func TestInfeasibleResourceUtilisation(t *testing.T) {
+	noDSP := Resources{ALUTs: 1000, Regs: 1000, BRAM: 1000, DSPs: 0}
+	design := Resources{ALUTs: 10, Regs: 10, BRAM: 10, DSPs: 2}
+	if design.FitsIn(noDSP) {
+		t.Fatal("design with DSPs fits a DSP-less device")
+	}
+	_, _, _, d := design.Utilisation(noDSP)
+	if !math.IsInf(d, 1) {
+		t.Errorf("DSP utilisation on a DSP-less device = %v, want +Inf", d)
+	}
+	frac, name := design.MaxUtilisation(noDSP)
+	if !math.IsInf(frac, 1) || name != "DSPs" {
+		t.Errorf("MaxUtilisation = %v %s, want +Inf DSPs", frac, name)
+	}
+}
+
+// TestFitsInAgreesWithMaxUtilisation: fraction > 1 on the binding
+// resource exactly when the design does not fit, including zero
+// capacities.
+func TestFitsInAgreesWithMaxUtilisation(t *testing.T) {
+	caps := []Resources{
+		{100, 100, 100, 100},
+		{100, 100, 100, 0},
+		{0, 100, 100, 100},
+	}
+	designs := []Resources{
+		{}, {50, 50, 50, 0}, {100, 100, 100, 100}, {101, 0, 0, 0}, {0, 0, 0, 1},
+	}
+	for _, c := range caps {
+		for _, r := range designs {
+			frac, _ := r.MaxUtilisation(c)
+			if fits := r.FitsIn(c); fits != (frac <= 1) {
+				t.Errorf("FitsIn(%v in %v) = %v but MaxUtilisation = %v", r, c, fits, frac)
+			}
+		}
 	}
 }
 
@@ -33,8 +108,14 @@ func TestUtilisation(t *testing.T) {
 	if a != 0.5 || r != 0.25 || b != 1.0 {
 		t.Errorf("utilisation = %v %v %v", a, r, b)
 	}
+	if !math.IsInf(d, 1) {
+		t.Errorf("using a zero-capacity resource should be infeasible (+Inf), got %v", d)
+	}
+	// An unused zero-capacity resource stays at 0: the device simply has
+	// none and the design needs none.
+	_, _, _, d = (Resources{100, 100, 100, 0}).Utilisation(cap)
 	if d != 0 {
-		t.Errorf("zero capacity should yield zero utilisation, got %v", d)
+		t.Errorf("unused zero-capacity resource = %v, want 0", d)
 	}
 }
 

@@ -1,0 +1,128 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	cases := map[string]string{
+		"stratix-v-gsd8":     "stratix-v-gsd8",
+		"stratix-v":          "stratix-v-gsd8",
+		"maia":               "stratix-v-gsd8",
+		"virtex-7-690t":      "virtex-7-690t",
+		"virtex-7":           "virtex-7-690t",
+		"adm-pcie-7v3":       "virtex-7-690t",
+		"stratix-v-gsd8-edu": "stratix-v-gsd8-edu",
+		"edu":                "stratix-v-gsd8-edu",
+	}
+	for name, canonical := range cases {
+		tgt, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if tgt.Name != canonical {
+			t.Errorf("Lookup(%q).Name = %q, want %q", name, tgt.Name, canonical)
+		}
+	}
+}
+
+func TestRegistryUnknownListsValidNames(t *testing.T) {
+	_, err := Lookup("cyclone-ii")
+	if err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	for _, want := range Names() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-target error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least the three built-ins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted/unique at %d: %v", i, names)
+		}
+	}
+	for _, want := range []string{"stratix-v-gsd8", "virtex-7-690t", "stratix-v-gsd8-edu"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() missing %q", want)
+		}
+	}
+}
+
+// TestLookupReturnsFreshCopies: callers mutate targets, so aliased
+// copies would leak tuning between explorations.
+func TestLookupReturnsFreshCopies(t *testing.T) {
+	a, err := Lookup("maia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FmaxHz = 1
+	b, err := Lookup("stratix-v-gsd8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FmaxHz == 1 {
+		t.Error("Lookup returned an aliased target")
+	}
+}
+
+func TestRegisterSynthetic(t *testing.T) {
+	mk := func() *Target {
+		tgt := GSD8Edu()
+		tgt.Name = "test-synth-half"
+		tgt.Capacity.ALUTs /= 2
+		return tgt
+	}
+	if err := Register(mk, "synth-half"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"test-synth-half", "synth-half"} {
+		tgt, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if tgt.Capacity.ALUTs != GSD8Edu().Capacity.ALUTs/2 {
+			t.Errorf("synthetic target not scaled")
+		}
+	}
+	if err := Register(mk); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := Register(func() *Target { return &Target{Name: "bad"} }); err == nil {
+		t.Error("invalid target registered")
+	}
+}
+
+func TestShelf(t *testing.T) {
+	shelf, err := Shelf("stratix-v-gsd8", " virtex-7-690t ", "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shelf) != 3 || shelf[0].Name != "stratix-v-gsd8" ||
+		shelf[1].Name != "virtex-7-690t" || shelf[2].Name != "stratix-v-gsd8-edu" {
+		t.Errorf("Shelf order/names wrong: %v %v %v", shelf[0].Name, shelf[1].Name, shelf[2].Name)
+	}
+	if _, err := Shelf(); err == nil {
+		t.Error("empty shelf accepted")
+	}
+	if _, err := Shelf("maia", "stratix-v-gsd8"); err == nil {
+		t.Error("aliased duplicate accepted")
+	}
+	if _, err := Shelf("stratix-v-gsd8", "atari-2600"); err == nil {
+		t.Error("unknown shelf entry accepted")
+	}
+}

@@ -1,11 +1,13 @@
 // Package dse is the design-space-exploration engine of the TyTra
 // flow. The space of design variants is modelled explicitly as a
 // Space of named axes — lane replication, per-lane vectorisation
-// degree, memory-execution form, with clock frequency and device
-// reserved as follow-on axes — and an Engine evaluates its points
-// through a worker pool with a memoised per-variant cost cache (the
-// whole evaluation stack, costmodel.Estimate plus perf.Extract/EKIT,
-// is pure, which makes both the parallelism and the caching sound).
+// degree, memory-execution form, clock frequency, and the device
+// shelf (DeviceAxis with a shelf-aware evaluator, its per-target
+// calibration memoised by ModelCache) — and an Engine evaluates its
+// points through a worker pool with a memoised per-variant cost cache
+// (the whole evaluation stack, costmodel.Estimate plus
+// perf.Extract/EKIT, is pure, which makes both the parallelism and
+// the caching sound).
 //
 // Which points get evaluated is a pluggable Strategy:
 //
@@ -40,6 +42,11 @@ type Point struct {
 	Lanes int
 	Est   *costmodel.Estimate
 	Par   perf.Params
+
+	// Device is the name of the shelf entry that priced the point; empty
+	// when the evaluation was single-device (the target is then implicit
+	// in the evaluator and available as Est.Target).
+	Device string
 
 	// EKIT is the kernel-instance throughput (the EWGT axis of Fig 15);
 	// Breakdown carries the per-term times and the limiter.

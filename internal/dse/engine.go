@@ -24,38 +24,64 @@ type onceCell[T any] struct {
 	err  error
 }
 
+// moduleCache memoises variant-module builds per lane count. It is its
+// own type (rather than a field bundle on modelEval) so evaluators that
+// hold several per-device modelEvals — the module of a lane count is
+// device-independent — and the simulation measurer can share one build
+// per lane count across all of them.
+type moduleCache struct {
+	build  VariantBuilder
+	builds sync.Map // lanes int -> *onceCell[*tir.Module]
+}
+
+func newModuleCache(build VariantBuilder) *moduleCache {
+	return &moduleCache{build: build}
+}
+
+// module builds the lanes-axis variant once per lane count.
+func (mc *moduleCache) module(lanes int) (*tir.Module, error) {
+	c, _ := mc.builds.LoadOrStore(lanes, &onceCell[*tir.Module]{})
+	cell := c.(*onceCell[*tir.Module])
+	cell.once.Do(func() {
+		cell.val, cell.err = mc.build(lanes)
+		if cell.err != nil {
+			cell.err = fmt.Errorf("dse: building %d-lane variant: %w", lanes, cell.err)
+		}
+	})
+	return cell.val, cell.err
+}
+
 // modelEval is the memoised core of the cost-model evaluator: module
 // builds per lane count and estimates per (lanes, dv), shared between
 // the standard evaluator and the simulation-backed evaluators (which
 // need the same model-side point for the resource bars, the walls and
 // the calibration cross-check).
 type modelEval struct {
-	mdl   *costmodel.Model
-	bw    *membw.Model
-	build VariantBuilder
-	w     perf.Workload
-	form  perf.Form
+	mdl  *costmodel.Model
+	bw   *membw.Model
+	mods *moduleCache
+	w    perf.Workload
+	form perf.Form
 
-	builds sync.Map // lanes int -> *onceCell[*tir.Module]
-	ests   sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
+	ests sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
 }
 
 func newModelEval(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	w perf.Workload, form perf.Form) *modelEval {
-	return &modelEval{mdl: mdl, bw: bw, build: build, w: w, form: form}
+	return newModelEvalShared(mdl, bw, newModuleCache(build), w, form)
+}
+
+// newModelEvalShared wires a modelEval to an externally shared module
+// cache (the per-device evaluators build one modelEval per shelf entry
+// over a single cache).
+func newModelEvalShared(mdl *costmodel.Model, bw *membw.Model, mods *moduleCache,
+	w perf.Workload, form perf.Form) *modelEval {
+	return &modelEval{mdl: mdl, bw: bw, mods: mods, w: w, form: form}
 }
 
 // module builds the lanes-axis variant once per lane count.
 func (me *modelEval) module(lanes int) (*tir.Module, error) {
-	c, _ := me.builds.LoadOrStore(lanes, &onceCell[*tir.Module]{})
-	cell := c.(*onceCell[*tir.Module])
-	cell.once.Do(func() {
-		cell.val, cell.err = me.build(lanes)
-		if cell.err != nil {
-			cell.err = fmt.Errorf("dse: building %d-lane variant: %w", lanes, cell.err)
-		}
-	})
-	return cell.val, cell.err
+	return me.mods.module(lanes)
 }
 
 // estimate costs the (lanes, dv) variant once.

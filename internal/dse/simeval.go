@@ -162,16 +162,30 @@ type simArena struct {
 	cell onceCell[simMeasure]
 }
 
+// simMeasurer owns the per-lane-count measurement arenas over a shared
+// module cache. It is its own type so the device-aware evaluator can
+// share one measurer across every shelf entry: the simulated cycle
+// count of a variant depends only on its module, never on the device
+// (devices re-price a measurement through FD, they never re-run it).
+type simMeasurer struct {
+	mods   *moduleCache
+	cfg    SimConfig
+	arenas sync.Map // lanes int -> *simArena
+}
+
+func newSimMeasurer(mods *moduleCache, cfg SimConfig) *simMeasurer {
+	return &simMeasurer{mods: mods, cfg: cfg.withDefaults()}
+}
+
 // simBacked is the shared implementation of the sim and hybrid
 // evaluators: the model half comes from the same memoised modelEval
 // the standard evaluator uses (resource bars, walls and Params are
 // identical across modes by construction), the sim half from a
 // per-lane-count measurement arena.
 type simBacked struct {
-	mode   EvalMode
-	me     *modelEval
-	cfg    SimConfig
-	arenas sync.Map // lanes int -> *simArena
+	mode EvalMode
+	me   *modelEval
+	sm   *simMeasurer
 }
 
 // NewSimEvaluator returns the simulation-backed evaluator: each
@@ -208,24 +222,48 @@ func NewModeEvaluator(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 
 func newSimBacked(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
-	sv := &simBacked{mode: mode, me: newModelEval(mdl, bw, build, w, form),
-		cfg: cfg.withDefaults()}
+	me := newModelEval(mdl, bw, build, w, form)
+	sv := &simBacked{mode: mode, me: me, sm: newSimMeasurer(me.mods, cfg)}
 	return sv.eval
 }
 
-func (sv *simBacked) eval(s *Space, v Variant) (*Point, error) {
-	// No dv axis: the simulator executes one work-item per lane per
-	// cycle and cannot observe medium-grained vectorisation, so a dv
-	// sweep must stay on the model evaluator. Pure sim scoring also
-	// rejects a form axis: simulated cycles are form-independent, so
-	// EvalSim would silently tie every form at a lane count — hybrid
-	// mode keeps it, since there the model ranks.
-	allowed := []string{AxisLanes, AxisForm, AxisFclk}
-	who := "the simulation-backed evaluator"
-	if sv.mode == EvalSim {
-		allowed = []string{AxisLanes, AxisFclk}
-		who = "the sim-scored evaluator (form does not change simulated cycles; use hybrid)"
+// simAxesFor returns the axis set a simulation-backed evaluator
+// accepts and how to name it in rejections. No dv axis in either mode:
+// the simulator executes one work-item per lane per cycle and cannot
+// observe medium-grained vectorisation, so a dv sweep must stay on the
+// model evaluator. Pure sim scoring also rejects a form axis:
+// simulated cycles are form-independent, so EvalSim would silently tie
+// every form at a lane count — hybrid mode keeps it, since there the
+// model ranks.
+func simAxesFor(mode EvalMode) (allowed []string, who string) {
+	if mode == EvalSim {
+		return []string{AxisLanes, AxisFclk},
+			"the sim-scored evaluator (form does not change simulated cycles; use hybrid)"
 	}
+	return []string{AxisLanes, AxisForm, AxisFclk}, "the simulation-backed evaluator"
+}
+
+// attachSim decorates a model-side point with the simulator's
+// measurement: the measured cycles and items, and the sim-backed
+// throughput at the point's (possibly fclk-overridden) FD. Under
+// EvalSim the measured throughput replaces the model's ranking score.
+func attachSim(p *Point, mode EvalMode, lanes int, meas simMeasure) error {
+	p.SimCycles, p.SimItems = meas.cycles, meas.items
+	// Par.FD already reflects any fclk-axis override, so the model and
+	// the simulator price the variant at the same frequency.
+	p.SimEKIT = p.Par.FD / float64(meas.cycles)
+	if math.IsNaN(p.SimEKIT) || math.IsInf(p.SimEKIT, 0) || p.SimEKIT <= 0 {
+		return fmt.Errorf("dse: %d-lane variant: degenerate simulated throughput %v (FD=%v, cycles=%d)",
+			lanes, p.SimEKIT, p.Par.FD, meas.cycles)
+	}
+	if mode == EvalSim {
+		p.EKIT = p.SimEKIT
+	}
+	return nil
+}
+
+func (sv *simBacked) eval(s *Space, v Variant) (*Point, error) {
+	allowed, who := simAxesFor(sv.mode)
 	if err := s.checkAxes(who, allowed...); err != nil {
 		return nil, err
 	}
@@ -234,30 +272,22 @@ func (sv *simBacked) eval(s *Space, v Variant) (*Point, error) {
 		return nil, err
 	}
 	lanes := s.ValueDefault(v, AxisLanes, 1)
-	meas, err := sv.measure(lanes)
+	meas, err := sv.sm.measure(lanes)
 	if err != nil {
 		return nil, err
 	}
-	p.SimCycles, p.SimItems = meas.cycles, meas.items
-	// Par.FD already reflects any fclk-axis override, so the model and
-	// the simulator price the variant at the same frequency.
-	p.SimEKIT = p.Par.FD / float64(meas.cycles)
-	if math.IsNaN(p.SimEKIT) || math.IsInf(p.SimEKIT, 0) || p.SimEKIT <= 0 {
-		return nil, fmt.Errorf("dse: %d-lane variant: degenerate simulated throughput %v (FD=%v, cycles=%d)",
-			lanes, p.SimEKIT, p.Par.FD, meas.cycles)
-	}
-	if sv.mode == EvalSim {
-		p.EKIT = p.SimEKIT
+	if err := attachSim(p, sv.mode, lanes, meas); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
 // measure memoises the simulated per-instance (cycles, items) per lane
 // count.
-func (sv *simBacked) measure(lanes int) (simMeasure, error) {
-	c, _ := sv.arenas.LoadOrStore(lanes, &simArena{})
+func (sm *simMeasurer) measure(lanes int) (simMeasure, error) {
+	c, _ := sm.arenas.LoadOrStore(lanes, &simArena{})
 	a := c.(*simArena)
-	a.cell.once.Do(func() { a.cell.val, a.cell.err = sv.runMeasurement(lanes) })
+	a.cell.once.Do(func() { a.cell.val, a.cell.err = sm.runMeasurement(lanes) })
 	return a.cell.val, a.cell.err
 }
 
@@ -265,12 +295,12 @@ func (sv *simBacked) measure(lanes int) (simMeasure, error) {
 // the warm-up + measurement workload through it. The Runner is owned
 // by the single worker that won the arena's once — no compiled
 // program's scratch is ever shared between engine workers.
-func (sv *simBacked) runMeasurement(lanes int) (simMeasure, error) {
-	m, err := sv.me.module(lanes)
+func (sm *simMeasurer) runMeasurement(lanes int) (simMeasure, error) {
+	m, err := sm.mods.module(lanes)
 	if err != nil {
 		return simMeasure{}, err
 	}
-	mem, err := sv.cfg.Inputs(m, sv.cfg.Seed)
+	mem, err := sm.cfg.Inputs(m, sm.cfg.Seed)
 	if err != nil {
 		return simMeasure{}, fmt.Errorf("dse: generating %d-lane workload: %w", lanes, err)
 	}
@@ -278,13 +308,13 @@ func (sv *simBacked) runMeasurement(lanes int) (simMeasure, error) {
 	if err != nil {
 		return simMeasure{}, fmt.Errorf("dse: compiling %d-lane variant: %w", lanes, err)
 	}
-	for i := 0; i < sv.cfg.Warmup; i++ {
+	for i := 0; i < sm.cfg.Warmup; i++ {
 		if _, err := r.Run(mem); err != nil {
 			return simMeasure{}, fmt.Errorf("dse: simulating %d-lane variant (warm-up): %w", lanes, err)
 		}
 	}
 	var first *pipesim.Result
-	for i := 0; i < sv.cfg.Measure; i++ {
+	for i := 0; i < sm.cfg.Measure; i++ {
 		res, err := r.Run(mem)
 		if err != nil {
 			return simMeasure{}, fmt.Errorf("dse: simulating %d-lane variant: %w", lanes, err)

@@ -4,14 +4,16 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/device"
 	"repro/internal/perf"
 )
 
 // Well-known axis names. The standard evaluator (NewEvaluator)
 // understands lanes, dv, form and fclk; the simulation-backed
 // evaluators (NewSimEvaluator, NewHybridEvaluator) understand lanes,
-// form and fclk; device is reserved for the follow-on axis named in
-// ROADMAP.md and is rejected until an evaluator implements it.
+// form and fclk; the device axis is only understood by the
+// shelf-aware evaluators (NewDeviceEvaluator and friends), which add
+// it to the respective sets above.
 const (
 	AxisLanes  = "lanes"
 	AxisDV     = "dv"
@@ -23,10 +25,16 @@ const (
 // Axis is one named dimension of a design space: the ordered list of
 // values a variant can take along it. Values are plain ints — lane
 // counts, vectorisation degrees, perf.Form codes, clock MHz — so any
-// enumerable design knob fits.
+// enumerable design knob fits. Axes whose values are indices into an
+// external table (the device axis indexes a shelf of targets) carry
+// Labels so keys and reports name the entries instead of the indices.
 type Axis struct {
 	Name   string
 	Values []int
+	// Labels optionally names each value; when set it must be aligned
+	// with Values and label-unique, and Key/Describe render the label in
+	// place of the raw int.
+	Labels []string
 }
 
 // LanesAxis is the thread-parallelism axis (KNL, the C1/C2 region of
@@ -56,6 +64,27 @@ func FclkAxis(mhz []int) Axis { return Axis{Name: AxisFclk, Values: mhz} }
 // fclk-units differential test pins the model and sim paths to it.
 func FclkHz(mhz int) float64 { return float64(mhz) * 1e6 }
 
+// DeviceAxis is the multi-device axis: one value per shelf entry, in
+// shelf order. Values are indices into the shelf slice handed to the
+// device-aware evaluator (NewDeviceEvaluator / NewDeviceModeEvaluator);
+// the labels carry the device names so cache keys and reports read
+// "device=virtex-7-690t" rather than "device=1". The same shelf slice,
+// in the same order, must be passed to both this axis and the
+// evaluator — the evaluator cross-checks the labels and fails loudly
+// on a mismatch.
+func DeviceAxis(shelf ...*device.Target) Axis {
+	a := Axis{Name: AxisDevice}
+	for i, t := range shelf {
+		a.Values = append(a.Values, i)
+		name := fmt.Sprintf("nil-device-%d", i)
+		if t != nil {
+			name = t.Name
+		}
+		a.Labels = append(a.Labels, name)
+	}
+	return a
+}
+
 // Space is an N-dimensional design space: the cross product of its
 // axes. A Space is immutable after construction and safe for
 // concurrent use.
@@ -81,10 +110,28 @@ func NewSpace(axes ...Axis) (*Space, error) {
 		if _, dup := s.index[a.Name]; dup {
 			return nil, fmt.Errorf("dse: duplicate axis %q", a.Name)
 		}
+		if len(a.Labels) != 0 {
+			if len(a.Labels) != len(a.Values) {
+				return nil, fmt.Errorf("dse: axis %q has %d labels for %d values",
+					a.Name, len(a.Labels), len(a.Values))
+			}
+			seen := make(map[string]bool, len(a.Labels))
+			for _, l := range a.Labels {
+				if l == "" || seen[l] {
+					return nil, fmt.Errorf("dse: axis %q has empty or duplicate label %q", a.Name, l)
+				}
+				seen[l] = true
+			}
+		}
 		s.index[a.Name] = len(s.axes)
 		vals := make([]int, len(a.Values))
 		copy(vals, a.Values)
-		s.axes = append(s.axes, Axis{Name: a.Name, Values: vals})
+		var labels []string
+		if len(a.Labels) != 0 {
+			labels = make([]string, len(a.Labels))
+			copy(labels, a.Labels)
+		}
+		s.axes = append(s.axes, Axis{Name: a.Name, Values: vals, Labels: labels})
 	}
 	return s, nil
 }
@@ -148,15 +195,31 @@ func (s *Space) ValueDefault(v Variant, name string, def int) int {
 	return def
 }
 
+// Label returns the label the variant takes on the named axis, or
+// false when the space has no such axis or the axis is unlabelled.
+func (s *Space) Label(v Variant, name string) (string, bool) {
+	i, ok := s.index[name]
+	if !ok || len(s.axes[i].Labels) == 0 {
+		return "", false
+	}
+	return s.axes[i].Labels[v[i]], true
+}
+
 // Key is the canonical cache key of a variant: identical keys mean
 // identical evaluation inputs, which is what makes memoisation sound.
+// Labelled axes key on the label (the shelf entry's identity), not the
+// positional index.
 func (s *Space) Key(v Variant) string {
 	var b strings.Builder
 	for i, a := range s.axes {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%d", a.Name, a.Values[v[i]])
+		if len(a.Labels) != 0 {
+			fmt.Fprintf(&b, "%s=%s", a.Name, a.Labels[v[i]])
+		} else {
+			fmt.Fprintf(&b, "%s=%d", a.Name, a.Values[v[i]])
+		}
 	}
 	return b.String()
 }

@@ -209,3 +209,59 @@ func TestDSESimBenchReport(t *testing.T) {
 		t.Error("JSON rendering missing the schema")
 	}
 }
+
+// TestFig15DevicesExperiment replays Fig 15 across the shelf and pins
+// the edu slice to the single-device Fig 15 run: same walls, same
+// points — the device axis must not change what a device's own sweep
+// looks like.
+func TestFig15DevicesExperiment(t *testing.T) {
+	r, err := Fig15Devices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Shelf) != 3 || len(r.Sweeps) != 3 {
+		t.Fatalf("shelf/sweeps = %d/%d, want 3/3", len(r.Shelf), len(r.Sweeps))
+	}
+	if r.Shelf[0].Name != "stratix-v-gsd8-edu" {
+		t.Fatalf("shelf[0] = %s", r.Shelf[0].Name)
+	}
+
+	single, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edu := r.Sweeps[0]
+	if edu.ComputeWall != single.B.ComputeWall || edu.DRAMWall != single.B.DRAMWall ||
+		edu.HostWall != single.B.HostWall {
+		t.Errorf("edu slice walls (%d,%d,%d) != Fig15 form-B walls (%d,%d,%d)",
+			edu.ComputeWall, edu.HostWall, edu.DRAMWall,
+			single.B.ComputeWall, single.B.HostWall, single.B.DRAMWall)
+	}
+	if len(edu.Points) != len(single.B.Points) {
+		t.Fatalf("edu slice has %d points, Fig15 has %d", len(edu.Points), len(single.B.Points))
+	}
+	for i := range edu.Points {
+		if edu.Points[i].EKIT != single.B.Points[i].EKIT ||
+			edu.Points[i].Fits != single.B.Points[i].Fits {
+			t.Errorf("lanes=%d: edu slice (EKIT %g fits %v) != Fig15 (EKIT %g fits %v)",
+				edu.Points[i].Lanes, edu.Points[i].EKIT, edu.Points[i].Fits,
+				single.B.Points[i].EKIT, single.B.Points[i].Fits)
+		}
+	}
+
+	// The walls must move across devices: the edu target hits its
+	// compute wall inside the sweep, the full GSD8 does not.
+	if edu.ComputeWall == 0 {
+		t.Error("edu target shows no compute wall inside 16 lanes")
+	}
+	if gsd8 := r.Sweeps[1]; gsd8.ComputeWall != 0 {
+		t.Errorf("full GSD8 hits a compute wall at %d lanes inside a 16-lane sweep", gsd8.ComputeWall)
+	}
+
+	tab := r.Table().String()
+	for _, k := range []string{"Fig 15 per device", "stratix-v-gsd8-edu", "virtex-7-690t", "walls"} {
+		if !strings.Contains(tab, k) {
+			t.Errorf("device table missing %q", k)
+		}
+	}
+}
