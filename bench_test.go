@@ -409,6 +409,34 @@ func BenchmarkSimEvaluator(b *testing.B) {
 	}
 }
 
+// BenchmarkStrategyComparison regenerates the committed
+// BENCH_DSE_STRAT.json figures: every registered strategy searching
+// the Fig 15 lanes×form space through one shared memoised engine.
+// Wall-clock here prices a whole comparison run; the headline metrics
+// are the deterministic search-efficiency numbers — evaluations
+// charged by the adaptive strategies against the 32-point enumeration
+// (both find the same best design; the test suite enforces it).
+func BenchmarkStrategyComparison(b *testing.B) {
+	var r *experiments.DSEStratResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.DSEStrat(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		switch row.Strategy {
+		case "exhaustive":
+			b.ReportMetric(float64(row.Evals), "exhaustive_evals")
+		case "hillclimb":
+			b.ReportMetric(float64(row.Evals), "hillclimb_evals")
+		case "anneal":
+			b.ReportMetric(float64(row.Evals), "anneal_evals")
+		}
+	}
+}
+
 // benchBind builds the module and bound inputs for one spec. The
 // BenchmarkPipesim family runs experiments.PipesimBenchSpecs — the same
 // workloads as the committed BENCH_PIPESIM.json baseline.

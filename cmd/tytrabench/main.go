@@ -10,16 +10,20 @@
 //	tytrabench -exp fig17    case-study runtime (Fig 17)
 //	tytrabench -exp fig18    case-study energy (Fig 18)
 //	tytrabench -exp speed    estimator latency (§VI-A)
+//	tytrabench -exp strat    DSE strategy comparison (best found vs evals spent)
 //	tytrabench -exp all      everything, in paper order
 //
 // With -json the tool instead emits a machine-readable benchmark
 // report; -report selects which one. "pipesim" (the default) times the
 // golden kernels through the interpreter oracle, the compile-per-call
 // executor and the compile-once Runner; "dse-sim" times one cold
-// variant evaluation per DSE scorer (model, sim, hybrid):
+// variant evaluation per DSE scorer (model, sim, hybrid); "dse-strat"
+// records the strategy comparison — deterministic, so the committed
+// baseline only changes when search behaviour does:
 //
 //	tytrabench -json > BENCH_PIPESIM.json
 //	tytrabench -json -report dse-sim > BENCH_DSE_SIM.json
+//	tytrabench -json -report dse-strat > BENCH_DSE_STRAT.json
 package main
 
 import (
@@ -42,11 +46,11 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tytrabench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig9|fig10|fig15|fig15h|fig15d|table2|fig17|fig18|speed|all")
+	exp := fs.String("exp", "all", "experiment: fig9|fig10|fig15|fig15h|fig15d|table2|fig17|fig18|speed|strat|all")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	full := fs.Bool("full", true, "use the paper-scale workloads (slower)")
 	jsonOut := fs.Bool("json", false, "emit a benchmark report as JSON (see -report)")
-	jsonReport := fs.String("report", "pipesim", "which -json report: pipesim (BENCH_PIPESIM.json) | dse-sim (BENCH_DSE_SIM.json)")
+	jsonReport := fs.String("report", "pipesim", "which -json report: pipesim (BENCH_PIPESIM.json) | dse-sim (BENCH_DSE_SIM.json) | dse-strat (BENCH_DSE_STRAT.json)")
 	benchTime := fs.Duration("benchtime", 0, "per-measurement time budget for -json (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,8 +70,14 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, r.JSON())
+		case "dse-strat":
+			r, err := experiments.DSEStrat(0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, r.JSON())
 		default:
-			return fmt.Errorf("unknown -report %q (have: pipesim, dse-sim)", *jsonReport)
+			return fmt.Errorf("unknown -report %q (have: pipesim, dse-sim, dse-strat)", *jsonReport)
 		}
 		return nil
 	}
@@ -150,6 +160,14 @@ func run(args []string, out io.Writer) error {
 		if want("fig18") {
 			emit(r.Fig18Table())
 		}
+	}
+	if want("strat") {
+		ran = true
+		r, err := experiments.DSEStrat(0, 0)
+		if err != nil {
+			return err
+		}
+		emit(r.Table())
 	}
 	if want("speed") {
 		ran = true

@@ -13,6 +13,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		"fig17":  "normalised to cpu",
 		"fig18":  "delta-energy",
 		"speed":  "estimator",
+		"strat":  "strategy comparison",
 	}
 	for exp, want := range cases {
 		var out strings.Builder
@@ -120,6 +121,45 @@ func TestRunJSONDSEReport(t *testing.T) {
 		if modes[m] != 3 {
 			t.Errorf("mode %s has %d rows, want 3", m, modes[m])
 		}
+	}
+}
+
+// TestRunJSONStratReport: the dse-strat report matches the committed
+// BENCH_DSE_STRAT.json schema and its invariants (adaptive strategies
+// beat the enumeration while finding the same best).
+func TestRunJSONStratReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json", "-report", "dse-strat"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema      string `json:"schema"`
+		SpacePoints int    `json:"space_points"`
+		Rows        []struct {
+			Strategy  string `json:"strategy"`
+			Evals     int    `json:"evals"`
+			FoundBest bool   `json:"found_best"`
+		} `json:"strategies"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not the expected JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != "tytra-bench-dse-strat/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	want := map[string]bool{"exhaustive": true, "wall-pruned": true, "pareto": true,
+		"hillclimb": true, "anneal": true}
+	for _, r := range rep.Rows {
+		delete(want, r.Strategy)
+		if !r.FoundBest {
+			t.Errorf("%s: found_best = false", r.Strategy)
+		}
+		if (r.Strategy == "hillclimb" || r.Strategy == "anneal") && r.Evals >= rep.SpacePoints {
+			t.Errorf("%s: %d evals not fewer than the %d-point space", r.Strategy, r.Evals, rep.SpacePoints)
+		}
+	}
+	for k := range want {
+		t.Errorf("strategy %s missing from report", k)
 	}
 }
 

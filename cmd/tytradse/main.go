@@ -7,16 +7,22 @@
 // Usage:
 //
 //	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
-//	         [-strategy exhaustive|wall-pruned|pareto] [-eval model|sim|hybrid] [-j N] [-csv]
-//	         [-devices name,name,...]
+//	         [-strategy exhaustive|wall-pruned|pareto|hillclimb|anneal] [-budget N] [-seed N]
+//	         [-eval model|sim|hybrid] [-j N] [-csv] [-devices name,name,...]
 //
-// The -strategy flag selects the exploration strategy: "exhaustive"
-// costs every variant, "wall-pruned" stops the lane sweep once a
-// compute/host/DRAM wall of Fig 15 is crossed and throughput has
-// saturated, and "pareto" additionally reports the
-// throughput-versus-utilisation frontier. -j sets the number of
-// parallel evaluation workers (0 = all CPUs); the engine is
-// deterministic, so every -j produces identical output.
+// The -strategy flag selects the exploration strategy from the dse
+// strategy registry (the flag help lists exactly what parses):
+// "exhaustive" costs every variant, "wall-pruned" stops the lane
+// sweep once a compute/host/DRAM wall of Fig 15 is crossed and
+// throughput has saturated, "pareto" additionally reports the
+// throughput-versus-utilisation frontier, and the adaptive
+// "hillclimb" and "anneal" search the space under a budget instead of
+// enumerating it. -budget caps the evaluations a search may charge
+// and -seed keys its RNG: an adaptive run is deterministic for a
+// fixed seed at any -j, and prints its trajectory and coverage under
+// the sweep. -j sets the number of parallel evaluation workers (0 =
+// all CPUs); the engine is deterministic, so every -j produces
+// identical output.
 //
 // The -eval flag selects the variant scorer: "model" is the paper's
 // EKIT cost model, "sim" scores every variant by measured cycles on
@@ -67,10 +73,18 @@ type options struct {
 	form     perf.Form
 	mode     dse.EvalMode
 	strategy dse.Strategy
+	search   dse.SearchOptions
 	nki      int64
 	maxLanes int
 	jobs     int
 	csv      bool
+}
+
+// showSearch reports whether the run's search provenance (trajectory
+// table + summary line) should be printed: always for an adaptive
+// strategy, and whenever the user bounded the search.
+func (o options) showSearch() bool {
+	return dse.StrategyIsAdaptive(o.strategy.Name()) || o.search.Budget.MaxEvals > 0
 }
 
 func run(args []string, out io.Writer) error {
@@ -83,7 +97,11 @@ func run(args []string, out io.Writer) error {
 	maxLanes := fs.Int("maxlanes", 16, "largest lane count to sweep")
 	formName := fs.String("form", "B", "memory-execution form (A | B | C)")
 	nki := fs.Int64("nki", 10, "kernel-instance repetitions")
-	strategy := fs.String("strategy", "exhaustive", "exploration strategy (exhaustive | wall-pruned | pareto)")
+	strategy := fs.String("strategy", "exhaustive",
+		fmt.Sprintf("exploration strategy (%s) — %s",
+			strings.Join(dse.StrategyNames(), " | "), dse.StrategyHelp()))
+	budget := fs.Int("budget", 0, "max design-point evaluations the search may charge (0 = unlimited)")
+	seed := fs.Int64("seed", 0, "search RNG seed for the adaptive strategies (0 = default seed 1)")
 	evalName := fs.String("eval", "model", "variant scorer (model | sim | hybrid)")
 	jobs := fs.Int("j", 0, "parallel evaluation workers (0 = all CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -104,7 +122,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opt := options{kernel: *kernel, form: form, mode: mode, strategy: st,
-		nki: *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv}
+		search: dse.SearchOptions{Budget: dse.Budget{MaxEvals: *budget}, Seed: *seed},
+		nki:    *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv}
 
 	if *devices != "" {
 		return runDevices(out, opt, strings.Split(*devices, ","))
@@ -136,7 +155,7 @@ func runSingle(out io.Writer, opt options, targetName string) error {
 		return err
 	}
 	res, err := c.ExploreSpaceMode(opt.mode, build, space, perf.Workload{NKI: opt.nki},
-		opt.form, opt.strategy, opt.jobs, dse.SimConfig{})
+		opt.form, opt.strategy, opt.jobs, dse.SimConfig{}, opt.search)
 	if err != nil {
 		return err
 	}
@@ -154,9 +173,21 @@ func runSingle(out io.Writer, opt options, targetName string) error {
 	if line := report.FrontierLine(res); line != "" {
 		fmt.Fprint(out, line)
 	}
+	printSearchBlock(out, opt, res)
 	// The feedback path: what to transform next (§I's targeted tuning).
 	fmt.Fprint(out, dse.Advise(sw))
 	return nil
+}
+
+// printSearchBlock appends the search trajectory and provenance for
+// budgeted and adaptive runs.
+func printSearchBlock(out io.Writer, opt options, res *dse.Result) {
+	if !opt.showSearch() {
+		return
+	}
+	emitTable(out, opt.csv, report.SearchTable(
+		fmt.Sprintf("search trajectory (%s): best EKIT found vs evaluations spent", res.Strategy), res))
+	fmt.Fprint(out, report.SearchSummary(res))
 }
 
 // runDevices is the cross-device exploration: one lanes×device engine
@@ -179,7 +210,7 @@ func runDevices(out io.Writer, opt options, names []string) error {
 		return err
 	}
 	res, err := core.ExploreDevices(opt.mode, shelf, build, space, perf.Workload{NKI: opt.nki},
-		opt.form, opt.strategy, opt.jobs, dse.SimConfig{})
+		opt.form, opt.strategy, opt.jobs, dse.SimConfig{}, opt.search)
 	if err != nil {
 		return err
 	}
@@ -219,6 +250,7 @@ func runDevices(out io.Writer, opt options, names []string) error {
 	if line := report.FrontierLine(res); line != "" {
 		fmt.Fprint(out, line)
 	}
+	printSearchBlock(out, opt, res)
 	if res.Best != nil {
 		fmt.Fprintf(out, "best overall: %s with %d lanes (EKIT %.3g/s)\n",
 			res.Best.Device, res.Best.Lanes, res.Best.EKIT)

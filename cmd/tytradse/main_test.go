@@ -67,7 +67,7 @@ func TestRunErrors(t *testing.T) {
 		{"-kernel", "mystery"},
 		{"-target", "nope"},
 		{"-form", "Z"},
-		{"-strategy", "simulated-annealing"},
+		{"-strategy", "clairvoyant"},
 		{"-eval", "psychic"},
 		{"-devices", " , "},
 		{"-devices", "stratix-v-gsd8,atari-2600"},
@@ -204,6 +204,69 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	}
 	if !strings.Contains(serial.String(), "best variant") {
 		t.Error("no best variant selected")
+	}
+}
+
+// TestRunAdaptiveStrategies: the adaptive strategies print the sweep
+// of what they evaluated plus the search trajectory and provenance,
+// find the exhaustive best on the default SOR space, and are
+// byte-deterministic for a fixed seed at any -j.
+func TestRunAdaptiveStrategies(t *testing.T) {
+	var full strings.Builder
+	base := []string{"-kernel", "sor", "-maxlanes", "16"}
+	if err := run(base, &full); err != nil {
+		t.Fatal(err)
+	}
+	bestLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "best variant:") {
+				return line
+			}
+		}
+		return ""
+	}
+	for _, strategy := range []string{"hillclimb", "anneal"} {
+		args := append(base, "-strategy", strategy, "-seed", "1", "-budget", "24")
+		var serial, parallel strings.Builder
+		if err := run(append(args, "-j", "1"), &serial); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if err := run(append(args, "-j", "8"), &parallel); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: -j=8 output differs from -j=1:\n--- j=1\n%s\n--- j=8\n%s",
+				strategy, serial.String(), parallel.String())
+		}
+		s := serial.String()
+		for _, want := range []string{"search trajectory", "search: " + strategy,
+			"budget=24", "seed=1", "best-EKIT/s"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s output missing %q:\n%s", strategy, want, s)
+			}
+		}
+		if b := bestLine(s); b == "" || b != bestLine(full.String()) {
+			t.Errorf("%s best %q != exhaustive best %q", strategy, b, bestLine(full.String()))
+		}
+	}
+	// Non-adaptive, unbudgeted runs keep their classic output.
+	if strings.Contains(full.String(), "search trajectory") {
+		t.Error("exhaustive run unexpectedly printed a search trajectory")
+	}
+}
+
+// TestRunBudgetedExhaustive: -budget applies to any strategy and is
+// reported in the provenance line.
+func TestRunBudgetedExhaustive(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kernel", "sor", "-maxlanes", "16", "-budget", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"search: exhaustive evaluated 3 of 16 points", "stop=budget", "budget=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
 	}
 }
 

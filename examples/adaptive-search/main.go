@@ -1,0 +1,81 @@
+// adaptive-search: the budgeted ask/tell search core on the Fig 15
+// design space. The exhaustive sweep enumerates all 32 points of the
+// SOR lanes×form space; the adaptive strategies — hill-climbing from
+// model-seeded starts and simulated annealing — search the same space
+// under an evaluation budget and find the same best design for a
+// fraction of the evaluations. Both are seeded, so every run of this
+// example (at any worker count) prints the same trajectory.
+//
+//	go run ./examples/adaptive-search
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/perf"
+	"repro/internal/report"
+	"repro/internal/tir"
+)
+
+func main() {
+	target := device.GSD8Edu()
+	fmt.Printf("calibrating models for %s...\n", target.Name)
+	compiler, err := core.New(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Fig 15 space: every lane count in 1..16 under memory
+	// execution forms A and B.
+	build := func(lanes int) (*tir.Module, error) { return experiments.Fig15Spec(lanes).Module() }
+	space, err := dse.NewSpace(
+		dse.LanesAxis(dse.LaneCounts(16)),
+		dse.FormAxis(perf.FormA, perf.FormB),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := perf.Workload{NKI: 10}
+
+	explore := func(st dse.Strategy, opts dse.SearchOptions) *dse.Result {
+		res, err := compiler.ExploreSpaceMode(dse.EvalModel, build, space, w, perf.FormB,
+			st, 0, dse.SimConfig{}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	full := explore(dse.Exhaustive{}, dse.SearchOptions{})
+	if full.Best == nil {
+		log.Fatal("no variant of the full sweep fits the device")
+	}
+	fmt.Printf("\nexhaustive: %d evaluations, best %s (EKIT %.3g/s)\n",
+		full.Evals, space.Describe(full.BestVariant), full.Best.EKIT)
+
+	// The same space under a 24-evaluation budget and a fixed seed.
+	opts := dse.SearchOptions{Seed: 1, Budget: dse.Budget{MaxEvals: 24}}
+	for _, st := range []dse.Strategy{dse.HillClimb{}, dse.Anneal{}} {
+		res := explore(st, opts)
+		fmt.Println()
+		fmt.Println(report.SearchTable(
+			fmt.Sprintf("%s trajectory: best EKIT found vs evaluations spent", st.Name()), res))
+		fmt.Print(report.SearchSummary(res))
+		if res.Best == nil {
+			fmt.Println("no fitting design found under the budget")
+			continue
+		}
+		verdict := "a DIFFERENT design than"
+		if res.Best.EKIT == full.Best.EKIT {
+			verdict = "the SAME best design as"
+		}
+		fmt.Printf("%s found %s the full sweep with %d of %d evaluations (%.0f%%)\n",
+			st.Name(), verdict, res.Evals, full.Evals,
+			float64(res.Evals)/float64(full.Evals)*100)
+	}
+}

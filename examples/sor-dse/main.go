@@ -86,7 +86,7 @@ func main() {
 	}
 	build := func(lanes int) (*tir.Module, error) { return byLanes[lanes].Lower() }
 	res, err := compiler.ExploreSpaceMode(dse.EvalHybrid, build, space,
-		perf.Workload{NKI: 100}, perf.FormB, dse.Exhaustive{}, 0, dse.SimConfig{})
+		perf.Workload{NKI: 100}, perf.FormB, dse.Exhaustive{}, 0, dse.SimConfig{}, dse.SearchOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

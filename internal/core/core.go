@@ -148,7 +148,8 @@ func (c *Compiler) Explore(build dse.VariantBuilder, lanes []int, w perf.Workloa
 // GOMAXPROCS). form is the default when the space has no form axis.
 func (c *Compiler) ExploreSpace(build dse.VariantBuilder, space *dse.Space, w perf.Workload,
 	form perf.Form, st dse.Strategy, workers int) (*dse.Result, error) {
-	return c.ExploreSpaceMode(dse.EvalModel, build, space, w, form, st, workers, dse.SimConfig{})
+	return c.ExploreSpaceMode(dse.EvalModel, build, space, w, form, st, workers,
+		dse.SimConfig{}, dse.SearchOptions{})
 }
 
 // ExploreSpaceMode is ExploreSpace with a selectable variant scorer
@@ -156,16 +157,18 @@ func (c *Compiler) ExploreSpace(build dse.VariantBuilder, space *dse.Space, w pe
 // cycle-accurate pipeline simulator, or the hybrid cross-check that
 // ranks by the model and records simulated cycles on every point (see
 // report.Calibration). sim configures the simulation workload and is
-// ignored under dse.EvalModel.
+// ignored under dse.EvalModel. opts carries the search budget and
+// seed (the -budget/-seed flags); the zero value is an unlimited,
+// default-seeded run.
 func (c *Compiler) ExploreSpaceMode(mode dse.EvalMode, build dse.VariantBuilder,
 	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
-	sim dse.SimConfig) (*dse.Result, error) {
+	sim dse.SimConfig, opts dse.SearchOptions) (*dse.Result, error) {
 	eval, err := dse.NewModeEvaluator(mode, c.Model, c.BW, build, w, form, sim)
 	if err != nil {
 		return nil, err
 	}
 	eng := dse.NewEngine(space, eval, workers)
-	return eng.Run(st)
+	return eng.Search(st, opts)
 }
 
 // ExploreDevices explores a design space that includes the device
@@ -180,11 +183,11 @@ func (c *Compiler) ExploreSpaceMode(mode dse.EvalMode, build dse.VariantBuilder,
 // point-identical to single-device ExploreSpaceMode runs.
 func ExploreDevices(mode dse.EvalMode, shelf []*device.Target, build dse.VariantBuilder,
 	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
-	sim dse.SimConfig) (*dse.Result, error) {
+	sim dse.SimConfig, opts dse.SearchOptions) (*dse.Result, error) {
 	eval, err := dse.NewDeviceModeEvaluator(mode, shelf, build, w, form, sim)
 	if err != nil {
 		return nil, err
 	}
 	eng := dse.NewEngine(space, eval, workers)
-	return eng.Run(st)
+	return eng.Search(st, opts)
 }

@@ -1,0 +1,365 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the adaptive strategies: searches that pay for a
+// fraction of the space instead of enumerating it, built for the
+// lanes×dv×form×fclk×device spaces whose cross product outgrows an
+// exhaustive sweep. Both strategies draw randomness only from the
+// run's seeded RNG and propose whole waves between which the core
+// barriers, so a run is bit-deterministic for a fixed seed at any
+// worker count, in every evaluation mode (model, sim, hybrid).
+
+// searchScore ranks outcomes for the adaptive strategies: fitting
+// points by EKIT (the objective of the selected eval mode),
+// non-fitting points below every fitting one and ordered toward the
+// fitting region (smaller peak utilisation first), failures last. The
+// ordering lets a climber started outside the feasible region walk
+// back into it.
+func searchScore(o Outcome, ok bool) float64 {
+	if !ok || o.Err != nil || o.Point == nil {
+		return math.Inf(-1)
+	}
+	if o.Point.Fits {
+		return o.Point.EKIT
+	}
+	return -o.Point.PeakUtil()
+}
+
+// neighbours returns the ±1-step moves of a variant: for each axis in
+// order, the variant one value-index below and one above, skipped at
+// the axis ends. The order is fixed, which keeps tie-breaking — and
+// therefore the whole search — deterministic.
+func neighbours(s *Space, v Variant) []Variant {
+	axes := s.Axes()
+	out := make([]Variant, 0, 2*len(axes))
+	for ai := range axes {
+		for _, d := range [2]int{-1, +1} {
+			idx := v[ai] + d
+			if idx < 0 || idx >= len(axes[ai].Values) {
+				continue
+			}
+			n := make(Variant, len(v))
+			copy(n, v)
+			n[ai] = idx
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// centerVariant is the mid-point of every axis: the deterministic
+// anchor of the seeding wave.
+func centerVariant(s *Space) Variant {
+	axes := s.Axes()
+	v := make(Variant, len(axes))
+	for ai := range axes {
+		v[ai] = len(axes[ai].Values) / 2
+	}
+	return v
+}
+
+// randomVariant draws one uniform variant from the run's RNG.
+func randomVariant(sc *Search) Variant {
+	axes := sc.Space().Axes()
+	v := make(Variant, len(axes))
+	for ai := range axes {
+		v[ai] = sc.Rand().Intn(len(axes[ai].Values))
+	}
+	return v
+}
+
+// HillClimb is restarted local search: a probe wave seeds Restarts
+// independent climbers at the most promising candidates — ranked by
+// the cost model's EKIT, which every evaluation mode carries, so the
+// model's microsecond points steer even a simulation-backed run — and
+// each climber then repeatedly moves to its best strictly-improving
+// ±1-step neighbour until it sits on a local optimum. Neighbourhoods
+// are proposed as one wave per round, so the memoised pool evaluates
+// them concurrently and re-visited points are free.
+type HillClimb struct {
+	// Restarts is the number of independent climbers (default 3).
+	Restarts int
+	// Probes is the size of the seeding wave (default 3·Restarts); the
+	// space centre is always probed, the rest are seeded draws.
+	Probes int
+}
+
+// Name implements Strategy.
+func (HillClimb) Name() string { return "hillclimb" }
+
+func (st HillClimb) start(sc *Search) (searcher, error) {
+	restarts := st.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	probes := st.Probes
+	if probes <= 0 {
+		probes = 3 * restarts
+	}
+	if size := sc.Space().Size(); probes > size {
+		probes = size
+	}
+	// The probe set: the centre plus seeded uniform draws, deduplicated.
+	// The draw loop is bounded so a tiny space cannot spin it forever.
+	space := sc.Space()
+	seen := map[string]bool{}
+	var wave []Variant
+	add := func(v Variant) {
+		key := space.Key(v)
+		if !seen[key] {
+			seen[key] = true
+			wave = append(wave, v)
+		}
+	}
+	add(centerVariant(space))
+	for tries := 0; len(wave) < probes && tries < 32*probes; tries++ {
+		add(randomVariant(sc))
+	}
+	return &hillClimbRun{restarts: restarts, probe: wave}, nil
+}
+
+// hillClimbRun is the per-run climber state.
+type hillClimbRun struct {
+	restarts int
+	probe    []Variant // pending seeding wave; nil once told
+	climbers []Variant // current position of each active climber
+}
+
+func (r *hillClimbRun) ask(sc *Search) ([]Variant, error) {
+	if r.probe != nil {
+		return r.probe, nil
+	}
+	if len(r.climbers) == 0 {
+		return nil, nil
+	}
+	// One wave per round: the union of every climber's neighbourhood.
+	var wave []Variant
+	seen := map[string]bool{}
+	for _, cur := range r.climbers {
+		for _, n := range neighbours(sc.Space(), cur) {
+			key := sc.Space().Key(n)
+			if !seen[key] {
+				seen[key] = true
+				wave = append(wave, n)
+			}
+		}
+	}
+	return wave, nil
+}
+
+func (r *hillClimbRun) tell(sc *Search, wave []Outcome) (int, error) {
+	if r.probe != nil {
+		r.seed(sc, wave)
+		return len(wave), nil
+	}
+	r.climb(sc)
+	return len(wave), nil
+}
+
+// seed ranks the probe outcomes by the model's EKIT and starts one
+// climber at each of the top Restarts candidates.
+func (r *hillClimbRun) seed(sc *Search, wave []Outcome) {
+	r.probe = nil
+	scores := make([]float64, len(wave))
+	for i, o := range wave {
+		switch {
+		case o.Err != nil || o.Point == nil:
+			scores[i] = math.Inf(-1)
+		case o.Point.Fits:
+			scores[i] = o.Point.ModelEKIT
+		default:
+			scores[i] = -o.Point.PeakUtil()
+		}
+	}
+	idx := make([]int, len(wave))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable sort by descending model score: probe order breaks ties,
+	// so the seeding is deterministic.
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	for i := 0; i < len(idx) && i < r.restarts; i++ {
+		if o := wave[idx[i]]; o.Err == nil && o.Point != nil {
+			r.climbers = append(r.climbers, o.Variant)
+		}
+	}
+}
+
+// climb moves every climber to its best strictly-improving neighbour,
+// retiring climbers that sit on a local optimum (or whose position
+// another climber already holds).
+func (r *hillClimbRun) climb(sc *Search) {
+	var next []Variant
+	held := map[string]bool{}
+	for _, cur := range r.climbers {
+		curScore := searchScore(sc.Lookup(cur))
+		moved := cur
+		bestScore := curScore
+		for _, n := range neighbours(sc.Space(), cur) {
+			if s := searchScore(sc.Lookup(n)); s > bestScore {
+				bestScore, moved = s, n
+			}
+		}
+		if bestScore <= curScore {
+			continue // local optimum: this climber is done
+		}
+		key := sc.Space().Key(moved)
+		if held[key] {
+			continue // merged with another climber
+		}
+		held[key] = true
+		next = append(next, moved)
+	}
+	r.climbers = next
+}
+
+func (r *hillClimbRun) finish(sc *Search, res *Result) error { return nil }
+
+// Anneal is simulated annealing over the space: Chains independent
+// walkers each propose one random ±1-step move per wave, accepted by
+// the Metropolis rule on the relative EKIT change at the current
+// temperature, which cools geometrically every wave. Early wave
+// acceptances cross throughput valleys a hill-climber cannot; by the
+// final waves the walk is effectively greedy. The run ends after
+// Steps waves (or earlier, under the search budget).
+type Anneal struct {
+	// Chains is the number of independent walkers (default 2).
+	Chains int
+	// Steps is the number of cooling waves (default 64).
+	Steps int
+	// T0 is the initial temperature as a relative score delta
+	// (default 0.2: a 20% worse point starts ~e⁻¹ likely to be taken).
+	T0 float64
+	// Cooling is the geometric temperature factor per wave
+	// (default 0.95).
+	Cooling float64
+}
+
+// Name implements Strategy.
+func (Anneal) Name() string { return "anneal" }
+
+func (st Anneal) withDefaults() Anneal {
+	if st.Chains <= 0 {
+		st.Chains = 2
+	}
+	if st.Steps <= 0 {
+		st.Steps = 64
+	}
+	if st.T0 <= 0 {
+		st.T0 = 0.2
+	}
+	if st.Cooling <= 0 || st.Cooling >= 1 {
+		st.Cooling = 0.95
+	}
+	return st
+}
+
+func (st Anneal) start(sc *Search) (searcher, error) {
+	cfg := st.withDefaults()
+	starts := make([]Variant, cfg.Chains)
+	for i := range starts {
+		starts[i] = randomVariant(sc)
+	}
+	return &annealRun{cfg: cfg, temp: cfg.T0, starts: starts, current: make([]Variant, cfg.Chains)}, nil
+}
+
+// annealRun is the per-run walker state.
+type annealRun struct {
+	cfg    Anneal
+	temp   float64
+	step   int
+	starts []Variant // pending start wave; nil once told
+
+	current  []Variant
+	proposed []Variant // this wave's proposal per chain
+}
+
+func (r *annealRun) ask(sc *Search) ([]Variant, error) {
+	if r.starts != nil {
+		return r.starts, nil
+	}
+	if r.step >= r.cfg.Steps {
+		return nil, nil
+	}
+	// One proposal per chain, drawn in chain order so the RNG stream —
+	// and with it the whole walk — is reproducible.
+	r.proposed = make([]Variant, len(r.current))
+	var wave []Variant
+	seen := map[string]bool{}
+	for i, cur := range r.current {
+		ns := neighbours(sc.Space(), cur)
+		if len(ns) == 0 {
+			r.proposed[i] = cur
+			continue
+		}
+		p := ns[sc.Rand().Intn(len(ns))]
+		r.proposed[i] = p
+		key := sc.Space().Key(p)
+		if !seen[key] {
+			seen[key] = true
+			wave = append(wave, p)
+		}
+	}
+	if len(wave) == 0 {
+		return nil, nil
+	}
+	return wave, nil
+}
+
+func (r *annealRun) tell(sc *Search, wave []Outcome) (int, error) {
+	if r.starts != nil {
+		// Settle the chains on their start points; a failed start stays
+		// put at score -Inf and escapes through its first proposal.
+		for i, v := range r.starts {
+			r.current[i] = v
+		}
+		r.starts = nil
+		return len(wave), nil
+	}
+	for i, p := range r.proposed {
+		cur := r.current[i]
+		if sc.Space().Key(p) == sc.Space().Key(cur) {
+			continue
+		}
+		if r.accept(sc, searchScore(sc.Lookup(cur)), searchScore(sc.Lookup(p))) {
+			r.current[i] = p
+		}
+	}
+	r.step++
+	r.temp *= r.cfg.Cooling
+	return len(wave), nil
+}
+
+// accept is the Metropolis rule on the relative score change: an
+// improvement is always taken, a regression with probability
+// exp(Δ/T), Δ the relative worsening. The acceptance draw comes from
+// the run's RNG in chain order, keeping the walk deterministic.
+func (r *annealRun) accept(sc *Search, cur, next float64) bool {
+	if next > cur {
+		return true
+	}
+	if math.IsInf(next, -1) {
+		return false // never walk onto a failed point
+	}
+	// Relative worsening: scale by |cur| for fitting scores (EKIT has
+	// arbitrary magnitude); non-fitting scores are already ~O(1)
+	// utilisation fractions.
+	delta := next - cur
+	if cur > 0 {
+		delta /= cur
+	}
+	return sc.Rand().Float64() < math.Exp(delta/r.temp)
+}
+
+func (r *annealRun) finish(sc *Search, res *Result) error { return nil }
+
+// String renders the configured strategy for error messages.
+func (st Anneal) String() string {
+	c := st.withDefaults()
+	return fmt.Sprintf("anneal(chains=%d steps=%d T0=%g cooling=%g)", c.Chains, c.Steps, c.T0, c.Cooling)
+}

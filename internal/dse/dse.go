@@ -9,7 +9,11 @@
 // perf.Extract/EKIT, is pure, which makes both the parallelism and
 // the caching sound).
 //
-// Which points get evaluated is a pluggable Strategy:
+// Which points get evaluated is a pluggable Strategy, driven by the
+// budgeted ask/tell search core of Engine.Search: the core repeatedly
+// asks the strategy for a wave of variants, evaluates the wave on the
+// pool, and tells the strategy the outcomes, under an evaluation
+// budget and a seeded RNG (see search.go). The registered strategies:
 //
 //   - Exhaustive covers the full cross product;
 //   - WallPruned walks the lanes axis bottom-up and stops at the first
@@ -17,7 +21,10 @@
 //     a resource, or the communication walls where host or DRAM
 //     bandwidth saturates (Fig 15);
 //   - ParetoFrontier reports the throughput-versus-utilisation
-//     trade-off curve over the full space.
+//     trade-off curve over the full space;
+//   - HillClimb and Anneal (adaptive.go) search large spaces under a
+//     budget instead of enumerating them, deterministically for a
+//     fixed seed at any worker count.
 //
 // SweepLanes and SweepLanesDV, the original serial drivers, remain as
 // thin adapters over the engine and produce results identical to the

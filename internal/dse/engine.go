@@ -277,9 +277,6 @@ func (e *Engine) evalAllKeep(vs []Variant) ([]*Point, []error) {
 	return points, errs
 }
 
-// Run explores the engine's space under the given strategy.
-func (e *Engine) Run(st Strategy) (*Result, error) { return st.Explore(e) }
-
 // Walls are the design-space bounds of Fig 15, as lane counts: the
 // smallest evaluated lane count that crossed each limit, or 0.
 type Walls struct {
@@ -314,6 +311,20 @@ type Result struct {
 	// Frontier holds indices into Points of the EKIT-vs-utilisation
 	// Pareto frontier; only the ParetoFrontier strategy fills it.
 	Frontier []int
+
+	// Search provenance, filled by Engine.Search: Evals is the number
+	// of evaluations charged to the run (distinct variants evaluated —
+	// for a pruning strategy this includes speculative wave tails the
+	// pool evaluated but the strategy discarded), Coverage is Evals
+	// over the space size, Stop records why the run ended, and Seed
+	// and Budget echo the options the run was started with.
+	Evals    int
+	Coverage float64
+	Stop     StopReason
+	Seed     int64
+	Budget   Budget
+	// Trajectory is the best-so-far curve, one sample per wave.
+	Trajectory []TrajectorySample
 }
 
 // bestOf scans points in order and returns the highest-EKIT fitting
@@ -376,11 +387,24 @@ func computeWalls(s *Space, vs []Variant, ps []*Point) Walls {
 // Slice restricts a result to the variants taking the given value on
 // the named axis (e.g. one memory-execution form of a lanes×form
 // exploration), recomputing walls, best and — when the source carried
-// one — the Pareto frontier over the slice.
+// one — the Pareto frontier over the slice. The value must be one of
+// the axis's values; a value the axis carries but the search never
+// evaluated (a pruned device, a budgeted search) yields an empty
+// slice, not an error.
 func (r *Result) Slice(axis string, value int) (*Result, error) {
 	ai, ok := r.Space.AxisIndex(axis)
 	if !ok {
 		return nil, fmt.Errorf("dse: result has no %q axis", axis)
+	}
+	onAxis := false
+	for _, v := range r.Space.Axes()[ai].Values {
+		if v == value {
+			onAxis = true
+			break
+		}
+	}
+	if !onAxis {
+		return nil, fmt.Errorf("dse: axis %q has no value %d", axis, value)
 	}
 	out := &Result{Space: r.Space, Strategy: r.Strategy}
 	for i, v := range r.Variants {

@@ -370,8 +370,16 @@ func TestParseStrategy(t *testing.T) {
 			t.Errorf("ParseStrategy(%q).Name() = %q", name, st.Name())
 		}
 	}
-	if _, err := ParseStrategy("simulated-annealing"); err == nil {
+	if _, err := ParseStrategy("clairvoyant"); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+	// Registered aliases resolve to their canonical strategy, and the
+	// adaptive classification agrees with the parser on them.
+	if st, err := ParseStrategy("simulated-annealing"); err != nil || st.Name() != "anneal" {
+		t.Errorf("ParseStrategy(simulated-annealing) = %v, %v", st, err)
+	}
+	if !StrategyIsAdaptive("sa") || StrategyIsAdaptive("pruned") || StrategyIsAdaptive("nope") {
+		t.Error("StrategyIsAdaptive disagrees with ParseStrategy on aliases")
 	}
 }
 

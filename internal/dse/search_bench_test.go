@@ -1,0 +1,103 @@
+package dse
+
+// Micro-benchmarks for the two WallPruned/Pareto hot spots the search
+// refactor replaced: the quadratic all-pairs frontier scan (now one
+// sort plus a linear pass) and the fmt.Sprintf-concatenated group keys
+// (now a mixed-radix int). Run with:
+//
+//	go test ./internal/dse -run xxx -bench 'ParetoFrontier|Grouping'
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/perf"
+)
+
+// dseShapedPoints is the frontier benchmark cloud: EKIT strongly
+// correlated with utilisation plus noise — the shape a real sweep
+// produces (throughput climbs with spent resources), which puts a
+// large fraction of points on the frontier. That is the quadratic
+// scan's worst case: with few dominators, its early exit almost never
+// fires. The uncorrelated property-test cloud would flatter it.
+func dseShapedPoints(n int, seed int64) []*Point {
+	rng := kernels.NewLCG(seed)
+	ps := make([]*Point, n)
+	for i := range ps {
+		util := float64(rng.Next()%100000) / 100000
+		ps[i] = &Point{
+			Fits:     true,
+			EKIT:     util*100 + float64(rng.Next()%1000)/1000,
+			UtilALUT: util,
+		}
+	}
+	return ps
+}
+
+// BenchmarkParetoFrontier prices the frontier extraction on seeded
+// DSE-shaped point clouds past the 1k-point mark, sorted pass vs the
+// frozen naive scan.
+func BenchmarkParetoFrontier(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		ps := dseShapedPoints(n, 1)
+		b.Run(fmt.Sprintf("sorted/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				paretoFrontier(ps)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				legacyParetoFrontier(ps)
+			}
+		})
+	}
+}
+
+// benchSpace1k is a >=1k-point 4-axis space (16·4·2·8 = 1024).
+func benchSpace1k(b *testing.B) *Space {
+	b.Helper()
+	space, err := NewSpace(
+		LanesAxis(LaneCounts(16)),
+		DVAxis([]int{1, 2, 4, 8}),
+		FormAxis(perf.FormA, perf.FormB),
+		FclkAxis([]int{100, 125, 150, 175, 200, 225, 250, 275}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return space
+}
+
+// BenchmarkWallPrunedGrouping prices the per-explore grouping of a
+// 1024-point space into lane sweeps: the mixed-radix int keys against
+// the frozen string-key construction.
+func BenchmarkWallPrunedGrouping(b *testing.B) {
+	space := benchSpace1k(b)
+	li, _ := space.AxisIndex(AxisLanes)
+	b.Run("int-key", func(b *testing.B) {
+		var groups [][]Variant
+		for i := 0; i < b.N; i++ {
+			groups = groupVariants(space, li)
+		}
+		b.ReportMetric(float64(len(groups)), "groups")
+	})
+	b.Run("string-key", func(b *testing.B) {
+		var groups int
+		for i := 0; i < b.N; i++ {
+			byKey := map[string][]Variant{}
+			for _, v := range space.Enumerate() {
+				key := ""
+				for ai, idx := range v {
+					if ai == li {
+						continue
+					}
+					key += fmt.Sprintf("%d:%d,", ai, idx)
+				}
+				byKey[key] = append(byKey[key], v)
+			}
+			groups = len(byKey)
+		}
+		b.ReportMetric(float64(groups), "groups")
+	})
+}

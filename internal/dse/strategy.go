@@ -2,35 +2,180 @@ package dse
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 )
 
 // Strategy decides which points of the space an Engine evaluates and
-// in what order: Exhaustive covers everything, WallPruned stops the
-// lanes axis at the walls, ParetoFrontier reports the
-// throughput-vs-utilisation trade-off curve. Strategies never change
-// what a point costs — only evaluation coverage — so any two
-// strategies agree wherever they overlap.
+// in what order. A Strategy value is pure configuration — reusable and
+// safe to share across runs; the per-run state lives in the searcher
+// its start hook returns, which the core drives through the ask/tell
+// loop of Engine.Search. Strategies never change what a point costs —
+// only evaluation coverage — so any two strategies agree wherever they
+// overlap.
 type Strategy interface {
 	Name() string
-	Explore(e *Engine) (*Result, error)
+	// start begins a run over the search context, returning the per-run
+	// searcher state.
+	start(sc *Search) (searcher, error)
 }
 
-// ParseStrategy resolves a -strategy flag value.
+// searcher is the per-run half of a strategy: the core alternates ask
+// (propose the next wave of variants; an empty wave ends the run) and
+// tell (observe the evaluated wave, in proposal order). tell returns
+// how many leading outcomes of the wave join the result — a pruning
+// strategy cuts a wave where a serial sweep would have stopped, so the
+// speculatively evaluated tail never reaches the result. finish runs
+// once on the assembled Result (the Pareto strategy fills the frontier
+// there).
+type searcher interface {
+	ask(sc *Search) ([]Variant, error)
+	tell(sc *Search, wave []Outcome) (keep int, err error)
+	finish(sc *Search, r *Result) error
+}
+
+// StrategySpec is one entry of the strategy registry: the canonical
+// name the CLI flag parses and prints, accepted aliases, a one-line
+// usage string, whether the strategy is an adaptive search (budget and
+// seed matter, coverage is partial), and the factory returning a
+// fresh Strategy with default configuration.
+type StrategySpec struct {
+	Name     string
+	Aliases  []string
+	Usage    string
+	Adaptive bool
+	New      func() Strategy
+}
+
+// strategyRegistry holds the registered strategies in registration
+// order — the single source the flag parser, the name list and the
+// CLI help all read, so they cannot drift apart.
+var strategyRegistry []StrategySpec
+
+// registerStrategy adds a strategy to the registry. Names and aliases
+// must be unique across the registry. Registration is deliberately
+// package-internal, like the searcher seam itself: a strategy must
+// uphold the core's determinism contract (randomness only from
+// Search.Rand, no state outside the searcher), which the in-package
+// test suite enforces for every registered entry.
+func registerStrategy(sp StrategySpec) error {
+	if sp.Name == "" || sp.New == nil {
+		return fmt.Errorf("dse: strategy spec needs a name and a factory")
+	}
+	for _, name := range append([]string{sp.Name}, sp.Aliases...) {
+		for _, have := range strategyRegistry {
+			if name == have.Name {
+				return fmt.Errorf("dse: strategy name %q already registered", name)
+			}
+			for _, a := range have.Aliases {
+				if name == a {
+					return fmt.Errorf("dse: strategy alias %q already registered", name)
+				}
+			}
+		}
+	}
+	strategyRegistry = append(strategyRegistry, sp)
+	return nil
+}
+
+func mustRegisterStrategy(sp StrategySpec) {
+	if err := registerStrategy(sp); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterStrategy(StrategySpec{
+		Name:  "exhaustive",
+		Usage: "evaluate every point of the space",
+		New:   func() Strategy { return Exhaustive{} },
+	})
+	mustRegisterStrategy(StrategySpec{
+		Name:    "wall-pruned",
+		Aliases: []string{"wallpruned", "pruned"},
+		Usage:   "stop each lane sweep once a Fig 15 wall is crossed and throughput saturates",
+		New:     func() Strategy { return WallPruned{} },
+	})
+	mustRegisterStrategy(StrategySpec{
+		Name:    "pareto",
+		Aliases: []string{"pareto-frontier"},
+		Usage:   "exhaustive plus the EKIT-vs-peak-utilisation Pareto frontier",
+		New:     func() Strategy { return ParetoFrontier{} },
+	})
+	mustRegisterStrategy(StrategySpec{
+		Name:     "hillclimb",
+		Aliases:  []string{"hill-climb", "hc"},
+		Usage:    "restarted hill-climbing from model-seeded starts, ±1-step moves per axis",
+		Adaptive: true,
+		New:      func() Strategy { return HillClimb{} },
+	})
+	mustRegisterStrategy(StrategySpec{
+		Name:     "anneal",
+		Aliases:  []string{"annealing", "simulated-annealing", "sa"},
+		Usage:    "simulated annealing: geometric cooling, Metropolis acceptance on EKIT",
+		Adaptive: true,
+		New:      func() Strategy { return Anneal{} },
+	})
+}
+
+// ParseStrategy resolves a -strategy flag value against the registry;
+// the empty string selects the first registered strategy (exhaustive).
 func ParseStrategy(name string) (Strategy, error) {
-	switch name {
-	case "exhaustive", "":
-		return Exhaustive{}, nil
-	case "wall-pruned", "wallpruned", "pruned":
-		return WallPruned{}, nil
-	case "pareto", "pareto-frontier":
-		return ParetoFrontier{}, nil
+	if name == "" {
+		return strategyRegistry[0].New(), nil
+	}
+	for _, sp := range strategyRegistry {
+		if name == sp.Name {
+			return sp.New(), nil
+		}
+		for _, a := range sp.Aliases {
+			if name == a {
+				return sp.New(), nil
+			}
+		}
 	}
 	return nil, fmt.Errorf("dse: unknown strategy %q (have: %v)", name, StrategyNames())
 }
 
-// StrategyNames lists the canonical strategy names.
-func StrategyNames() []string { return []string{"exhaustive", "wall-pruned", "pareto"} }
+// StrategyNames lists the canonical strategy names in registration
+// order — by construction exactly the names ParseStrategy accepts.
+func StrategyNames() []string {
+	names := make([]string, len(strategyRegistry))
+	for i, sp := range strategyRegistry {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// StrategyIsAdaptive reports whether the named strategy is registered
+// as an adaptive search. Like ParseStrategy it resolves aliases, so
+// the two can never disagree about a flag value.
+func StrategyIsAdaptive(name string) bool {
+	for _, sp := range strategyRegistry {
+		if sp.Name == name {
+			return sp.Adaptive
+		}
+		for _, a := range sp.Aliases {
+			if a == name {
+				return sp.Adaptive
+			}
+		}
+	}
+	return false
+}
+
+// StrategyHelp renders the registry as the multi-line flag help text.
+func StrategyHelp() string {
+	var b strings.Builder
+	for i, sp := range strategyRegistry {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", sp.Name, sp.Usage)
+	}
+	return b.String()
+}
 
 // Exhaustive evaluates every point of the space.
 type Exhaustive struct{}
@@ -38,15 +183,32 @@ type Exhaustive struct{}
 // Name implements Strategy.
 func (Exhaustive) Name() string { return "exhaustive" }
 
-// Explore implements Strategy.
-func (Exhaustive) Explore(e *Engine) (*Result, error) {
-	vs := e.Space.Enumerate()
-	ps, err := e.EvalAll(vs)
-	if err != nil {
-		return nil, err
+func (Exhaustive) start(sc *Search) (searcher, error) { return &exhaustiveRun{}, nil }
+
+// exhaustiveRun proposes the full enumeration as one wave, so the
+// memoised pool sees exactly the batch the batch-era strategy fed it.
+type exhaustiveRun struct{ asked bool }
+
+func (r *exhaustiveRun) ask(sc *Search) ([]Variant, error) {
+	if r.asked {
+		return nil, nil
 	}
-	return newResult(e, Exhaustive{}.Name(), vs, ps), nil
+	r.asked = true
+	return sc.Space().Enumerate(), nil
 }
+
+func (r *exhaustiveRun) tell(sc *Search, wave []Outcome) (int, error) {
+	// Fail on the lowest-indexed failing variant, so errors are
+	// deterministic regardless of worker scheduling.
+	for _, o := range wave {
+		if o.Err != nil {
+			return 0, o.Err
+		}
+	}
+	return len(wave), nil
+}
+
+func (r *exhaustiveRun) finish(sc *Search, res *Result) error { return nil }
 
 // WallPruned sweeps the lanes axis in ascending order and stops once a
 // wall of Fig 15 has been crossed and nothing further can be gained:
@@ -58,7 +220,11 @@ func (Exhaustive) Explore(e *Engine) (*Result, error) {
 //     link, but the fill and priming terms still improve with lanes, so
 //     the sweep continues until the per-lane EKIT gain falls under
 //     saturationGain — the flat tail of Fig 15 is skipped, not the
-//     climb toward it.
+//     climb toward it. The check compares every walled point against
+//     its predecessor, so a sweep that is already saturated when it
+//     crosses the wall — or whose very first lane count is walled —
+//     prunes at the first flat walled point instead of always paying
+//     for one more.
 //
 // Every combination of the other axes gets its own pruned lane sweep.
 // Without a lanes axis it degrades to Exhaustive.
@@ -71,93 +237,123 @@ func (WallPruned) Name() string { return "wall-pruned" }
 // bandwidth-walled sweep is considered saturated.
 const saturationGain = 0.01
 
-// Explore implements Strategy.
-func (st WallPruned) Explore(e *Engine) (*Result, error) {
-	li, ok := e.Space.AxisIndex(AxisLanes)
+func (st WallPruned) start(sc *Search) (searcher, error) {
+	li, ok := sc.Space().AxisIndex(AxisLanes)
 	if !ok {
-		r, err := Exhaustive{}.Explore(e)
-		if err != nil {
-			return nil, err
-		}
-		r.Strategy = st.Name()
-		return r, nil
+		return &exhaustiveRun{}, nil
 	}
-
-	// Group the variants by their coordinates on every axis but lanes,
-	// preserving enumeration order; sort each group by lanes index so
-	// pruning walks the axis bottom-up.
-	type group struct {
-		key string
-		vs  []Variant
-	}
-	var groups []*group
-	byKey := map[string]*group{}
-	for _, v := range e.Space.Enumerate() {
-		key := ""
-		for ai, idx := range v {
-			if ai == li {
-				continue
-			}
-			key += fmt.Sprintf("%d:%d,", ai, idx)
-		}
-		g, ok := byKey[key]
-		if !ok {
-			g = &group{key: key}
-			byKey[key] = g
-			groups = append(groups, g)
-		}
-		g.vs = append(g.vs, v)
-	}
-	for _, g := range groups {
-		sort.SliceStable(g.vs, func(i, j int) bool { return g.vs[i][li] < g.vs[j][li] })
-	}
-
-	// Guard against a zero-value Engine built without NewEngine: an
-	// empty wave would never advance the sweep.
-	waveSize := e.Workers
+	waveSize := sc.Workers()
 	if waveSize < 1 {
+		// Guard against a zero-value Engine built without NewEngine: an
+		// empty wave would never advance the sweep.
 		waveSize = 1
 	}
+	return &wallPrunedRun{groups: groupVariants(sc.Space(), li), waveSize: waveSize}, nil
+}
 
-	var vs []Variant
-	var ps []*Point
-	for _, g := range groups {
-		// Evaluate in waves of Workers points so pruning still feeds
-		// the pool, then cut where the axis is exhausted.
-		prevEKIT := 0.0
-		bwWalled := false
-	sweep:
-		for lo := 0; lo < len(g.vs); {
-			hi := lo + waveSize
-			if hi > len(g.vs) {
-				hi = len(g.vs)
-			}
-			// Consume the wave in axis order so behaviour is
-			// worker-count independent: an error past the prune point
-			// is never reached, exactly as a serial sweep would never
-			// have evaluated it.
-			wave, waveErrs := e.evalAllKeep(g.vs[lo:hi])
-			for i, p := range wave {
-				if waveErrs[i] != nil {
-					return nil, waveErrs[i]
-				}
-				vs = append(vs, g.vs[lo+i])
-				ps = append(ps, p)
-				if !p.Fits {
-					break sweep // computation wall: nothing beyond fits
-				}
-				if p.UtilHostBW >= 1 || p.UtilGMemBW >= 1 {
-					if bwWalled && p.EKIT <= prevEKIT*(1+saturationGain) {
-						break sweep // bandwidth wall crossed and throughput saturated
-					}
-					bwWalled = true
-				}
-				prevEKIT = p.EKIT
-			}
-			lo = hi
+// wallPrunedRun walks one group (one combination of the non-lanes
+// axes) at a time, proposing waves of Workers points so pruning still
+// feeds the pool.
+type wallPrunedRun struct {
+	groups   [][]Variant
+	waveSize int
+
+	g, lo    int
+	prevEKIT float64
+}
+
+func (r *wallPrunedRun) ask(sc *Search) ([]Variant, error) {
+	for r.g < len(r.groups) {
+		g := r.groups[r.g]
+		if r.lo >= len(g) {
+			r.nextGroup()
+			continue
 		}
+		hi := r.lo + r.waveSize
+		if hi > len(g) {
+			hi = len(g)
+		}
+		wave := g[r.lo:hi]
+		r.lo = hi
+		return wave, nil
 	}
-	return newResult(e, st.Name(), vs, ps), nil
+	return nil, nil
+}
+
+func (r *wallPrunedRun) nextGroup() {
+	r.g++
+	r.lo = 0
+	r.prevEKIT = 0
+}
+
+func (r *wallPrunedRun) tell(sc *Search, wave []Outcome) (int, error) {
+	// Consume the wave in axis order so behaviour is worker-count
+	// independent: an error past the prune point is never reached,
+	// exactly as a serial sweep would never have evaluated it.
+	for i, o := range wave {
+		if o.Err != nil {
+			return 0, o.Err
+		}
+		p := o.Point
+		if !p.Fits {
+			// Computation wall: nothing beyond fits.
+			r.nextGroup()
+			return i + 1, nil
+		}
+		if p.UtilHostBW >= 1 || p.UtilGMemBW >= 1 {
+			// Bandwidth wall crossed; prune once throughput has
+			// saturated relative to the previous point. prevEKIT is 0
+			// for the first point of a group, so a group that starts
+			// walled still evaluates its first point.
+			if p.EKIT <= r.prevEKIT*(1+saturationGain) {
+				r.nextGroup()
+				return i + 1, nil
+			}
+		}
+		r.prevEKIT = p.EKIT
+	}
+	return len(wave), nil
+}
+
+func (r *wallPrunedRun) finish(sc *Search, res *Result) error { return nil }
+
+// groupVariants partitions the enumeration into per-group lane sweeps:
+// one group per combination of the non-lanes axes, in enumeration
+// order. Groups key on the variant's mixed-radix coordinate over the
+// non-lanes axes — a single comparable int — rather than a formatted
+// string (see BenchmarkWallPrunedGrouping for the cost difference).
+// Enumeration is row-major, so within a group the lanes-axis index is
+// already ascending and pruning can walk the axis bottom-up without a
+// sort.
+func groupVariants(s *Space, li int) [][]Variant {
+	axes := s.Axes()
+	strides := make([]int, len(axes))
+	stride := 1
+	for ai := len(axes) - 1; ai >= 0; ai-- {
+		if ai == li {
+			continue
+		}
+		strides[ai] = stride
+		stride *= len(axes[ai].Values)
+	}
+	byKey := make(map[int]int, stride)
+	groups := make([][]Variant, 0, stride)
+	for _, v := range s.Enumerate() {
+		key := 0
+		for ai, idx := range v {
+			if ai != li {
+				key += idx * strides[ai]
+			}
+		}
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], v)
+	}
+	return groups
 }
 
 // ParetoFrontier evaluates the whole space, then marks the points on
@@ -169,41 +365,65 @@ type ParetoFrontier struct{}
 // Name implements Strategy.
 func (ParetoFrontier) Name() string { return "pareto" }
 
+func (ParetoFrontier) start(sc *Search) (searcher, error) { return &paretoRun{}, nil }
+
+// paretoRun is exhaustive coverage plus the frontier fill at finish.
+type paretoRun struct{ exhaustiveRun }
+
+func (r *paretoRun) finish(sc *Search, res *Result) error {
+	res.Frontier = paretoFrontier(res.Points)
+	return nil
+}
+
 // paretoFrontier returns the indices of the fitting points on the
-// EKIT-versus-peak-utilisation Pareto frontier.
+// EKIT-versus-peak-utilisation Pareto frontier, ascending. One sort
+// plus a linear scan over utilisation groups replaces the quadratic
+// all-pairs dominance test (see BenchmarkParetoFrontier): a point
+// survives its group iff it carries the group's maximum EKIT, and
+// survives the smaller-utilisation points iff its EKIT strictly
+// exceeds everything seen before its group.
 func paretoFrontier(ps []*Point) []int {
-	var front []int
+	type cand struct {
+		idx  int
+		util float64
+		ekit float64
+	}
+	cands := make([]cand, 0, len(ps))
 	for i, p := range ps {
 		if p == nil || !p.Fits {
 			continue
 		}
-		dominated := false
-		for j, q := range ps {
-			if i == j || q == nil || !q.Fits {
-				continue
-			}
-			// q dominates p: at least as good on both objectives and
-			// strictly better on one.
-			if q.EKIT >= p.EKIT && q.PeakUtil() <= p.PeakUtil() &&
-				(q.EKIT > p.EKIT || q.PeakUtil() < p.PeakUtil()) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			front = append(front, i)
-		}
+		cands = append(cands, cand{idx: i, util: p.PeakUtil(), ekit: p.EKIT})
 	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].util != cands[b].util {
+			return cands[a].util < cands[b].util
+		}
+		return cands[a].ekit > cands[b].ekit
+	})
+	var front []int
+	bestBefore := math.Inf(-1)
+	for lo := 0; lo < len(cands); {
+		hi := lo
+		gmax := math.Inf(-1)
+		for hi < len(cands) && cands[hi].util == cands[lo].util {
+			if cands[hi].ekit > gmax {
+				gmax = cands[hi].ekit
+			}
+			hi++
+		}
+		for k := lo; k < hi; k++ {
+			// Equal on both objectives means mutually non-dominating:
+			// duplicates of the group maximum all stay on the frontier.
+			if c := cands[k]; c.ekit == gmax && c.ekit > bestBefore {
+				front = append(front, c.idx)
+			}
+		}
+		if gmax > bestBefore {
+			bestBefore = gmax
+		}
+		lo = hi
+	}
+	sort.Ints(front)
 	return front
-}
-
-// Explore implements Strategy.
-func (st ParetoFrontier) Explore(e *Engine) (*Result, error) {
-	r, err := Exhaustive{}.Explore(e)
-	if err != nil {
-		return nil, err
-	}
-	r.Strategy = st.Name()
-	r.Frontier = paretoFrontier(r.Points)
-	return r, nil
 }

@@ -265,3 +265,59 @@ func TestFig15DevicesExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestDSEStratReport is the strategy-comparison acceptance: every
+// strategy finds the exhaustive best on the Fig 15 lanes×form space,
+// the adaptive ones charge strictly fewer evaluations than the
+// enumeration, and the report is deterministic — the committed
+// BENCH_DSE_STRAT.json must be reproducible bit-for-bit on any
+// machine.
+func TestDSEStratReport(t *testing.T) {
+	r, err := DSEStrat(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != "tytra-bench-dse-strat/v1" {
+		t.Errorf("schema = %q", r.Schema)
+	}
+	if got, want := len(r.Rows), len(dse.StrategyNames()); got != want {
+		t.Fatalf("%d rows for %d registered strategies", got, want)
+	}
+	var exhaustive DSEStratRow
+	for _, row := range r.Rows {
+		if row.Strategy == "exhaustive" {
+			exhaustive = row
+		}
+	}
+	if exhaustive.Evals != r.SpacePoints || !exhaustive.FoundBest {
+		t.Fatalf("exhaustive row broken: %+v", exhaustive)
+	}
+	for _, row := range r.Rows {
+		if !row.FoundBest {
+			t.Errorf("%s: did not find the exhaustive best (%+v)", row.Strategy, row)
+		}
+		if dse.StrategyIsAdaptive(row.Strategy) {
+			if row.Evals >= exhaustive.Evals {
+				t.Errorf("%s: charged %d evals, not strictly fewer than exhaustive's %d",
+					row.Strategy, row.Evals, exhaustive.Evals)
+			}
+			if row.Evals > r.Budget {
+				t.Errorf("%s: overran the %d-eval budget with %d", row.Strategy, r.Budget, row.Evals)
+			}
+		}
+	}
+	// Determinism: a second run renders byte-identical JSON.
+	again, err := DSEStrat(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JSON() != again.JSON() {
+		t.Error("strategy comparison is not deterministic across runs")
+	}
+	tab := r.Table().String()
+	for _, k := range []string{"strategy", "evals", "found-best", "hillclimb", "anneal"} {
+		if !strings.Contains(tab, k) {
+			t.Errorf("table missing %q", k)
+		}
+	}
+}
