@@ -476,6 +476,41 @@ func BenchmarkPipesimRun(b *testing.B) {
 	}
 }
 
+// BenchmarkPipesimExecutors prices the hot (pre-compiled Runner) path
+// at both executor escalation levels: the scalar per-item loop and the
+// batched+fused sweep. The ratio between the two sub-benchmarks is the
+// speedup_vs_scalar column of BENCH_PIPESIM.json; the CI bench smoke in
+// internal/experiments fails if it ever drops below 1.
+func BenchmarkPipesimExecutors(b *testing.B) {
+	levels := []struct {
+		name string
+		cfg  pipesim.Config
+	}{
+		{"scalar", pipesim.Config{DisableBatch: true, DisableFuse: true}},
+		{"batched", pipesim.Config{}},
+	}
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		for _, lvl := range levels {
+			b.Run(spec.Name()+"/"+lvl.name, func(b *testing.B) {
+				m, mem := benchBind(b, spec)
+				r, err := pipesim.NewRunnerConfig(m, lvl.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var res *pipesim.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err = r.Run(mem)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Items)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+			})
+		}
+	}
+}
+
 // BenchmarkPipesimOracle prices the same instances through the retained
 // interpreter: the denominator of the speedups in BENCH_PIPESIM.json,
 // kept benchmarked so the oracle stays honest (and usable) too.

@@ -24,6 +24,12 @@
 //	tytrabench -json > BENCH_PIPESIM.json
 //	tytrabench -json -report dse-sim > BENCH_DSE_SIM.json
 //	tytrabench -json -report dse-strat > BENCH_DSE_STRAT.json
+//
+// -cpuprofile and -memprofile wrap any of the above in the standard
+// pprof collectors, for chasing simulator hot spots:
+//
+//	tytrabench -json -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/costmodel"
 	"repro/internal/device"
@@ -52,8 +60,36 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit a benchmark report as JSON (see -report)")
 	jsonReport := fs.String("report", "pipesim", "which -json report: pipesim (BENCH_PIPESIM.json) | dse-sim (BENCH_DSE_SIM.json) | dse-strat (BENCH_DSE_STRAT.json)")
 	benchTime := fs.Duration("benchtime", 0, "per-measurement time budget for -json (0 = default)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected run to this file (inspect with `go tool pprof`)")
+	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file (inspect with `go tool pprof`)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tytrabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tytrabench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *jsonOut {

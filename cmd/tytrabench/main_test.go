@@ -62,27 +62,43 @@ func TestRunJSONBenchReport(t *testing.T) {
 			OracleNsOp      int64   `json:"oracle_ns_op"`
 			CompiledNsOp    int64   `json:"compiled_ns_op"`
 			RunnerNsOp      int64   `json:"runner_ns_op"`
+			ScalarNsOp      int64   `json:"scalar_ns_op"`
+			BatchedNsOp     int64   `json:"batched_ns_op"`
 			SpeedupCompiled float64 `json:"speedup_compiled"`
+			Fusion          struct {
+				MulAdd   int `json:"mul_add"`
+				MulAcc   int `json:"mul_acc"`
+				LoadOp   int `json:"load_op"`
+				MaskFold int `json:"mask_fold"`
+			} `json:"fusion"`
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Fatalf("output is not the expected JSON: %v\n%s", err, out.String())
 	}
-	if rep.Schema != "tytra-bench-pipesim/v1" {
+	if rep.Schema != "tytra-bench-pipesim/v2" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	want := map[string]bool{"sor": true, "hotspot": true, "lavamd": true, "srad": true}
 	for _, r := range rep.Rows {
 		delete(want, r.Kernel)
-		if r.Items <= 0 || r.OracleNsOp <= 0 || r.CompiledNsOp <= 0 || r.RunnerNsOp <= 0 {
+		if r.Items <= 0 || r.OracleNsOp <= 0 || r.CompiledNsOp <= 0 || r.RunnerNsOp <= 0 ||
+			r.ScalarNsOp <= 0 || r.BatchedNsOp <= 0 {
 			t.Errorf("%s: non-positive measurement: %+v", r.Kernel, r)
 		}
 		// No speedup threshold here: with a tiny -benchtime a scheduler
 		// stall can flip the ratio on a loaded CI runner. The >=10x
-		// expectation is enforced by review of the committed
+		// (and >=2x batched-vs-scalar) expectations are enforced by the
+		// benchsmoke CI step and review of the committed
 		// BENCH_PIPESIM.json baseline.
 		if r.SpeedupCompiled <= 0 {
 			t.Errorf("%s: non-positive speedup: %+v", r.Kernel, r)
+		}
+		// Fusion counts are deterministic compile-time facts, so they
+		// are exact-testable even at a tiny time budget: every golden
+		// kernel fuses something.
+		if r.Fusion.MulAdd+r.Fusion.MulAcc+r.Fusion.LoadOp+r.Fusion.MaskFold == 0 {
+			t.Errorf("%s: no fusions reported", r.Kernel)
 		}
 	}
 	for k := range want {

@@ -8,7 +8,8 @@
 //
 //	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
 //	         [-strategy exhaustive|wall-pruned|pareto|hillclimb|anneal] [-budget N] [-seed N]
-//	         [-eval model|sim|hybrid] [-j N] [-csv] [-devices name,name,...]
+//	         [-eval model|sim|hybrid] [-simexec batched|nofuse|scalar] [-j N] [-csv]
+//	         [-devices name,name,...]
 //
 // The -strategy flag selects the exploration strategy from the dse
 // strategy registry (the flag help lists exactly what parses):
@@ -54,6 +55,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/perf"
+	"repro/internal/pipesim"
 	"repro/internal/report"
 	"repro/internal/roofline"
 	"repro/internal/tir"
@@ -74,11 +76,16 @@ type options struct {
 	mode     dse.EvalMode
 	strategy dse.Strategy
 	search   dse.SearchOptions
+	exec     pipesim.Config
 	nki      int64
 	maxLanes int
 	jobs     int
 	csv      bool
 }
+
+// simConfig is the simulation-measurement configuration both the
+// single- and multi-device paths hand to the sim-backed evaluators.
+func (o options) simConfig() dse.SimConfig { return dse.SimConfig{Exec: o.exec} }
 
 // showSearch reports whether the run's search provenance (trajectory
 // table + summary line) should be printed: always for an adaptive
@@ -103,6 +110,9 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Int("budget", 0, "max design-point evaluations the search may charge (0 = unlimited)")
 	seed := fs.Int64("seed", 0, "search RNG seed for the adaptive strategies (0 = default seed 1)")
 	evalName := fs.String("eval", "model", "variant scorer (model | sim | hybrid)")
+	simExec := fs.String("simexec", "batched",
+		fmt.Sprintf("simulator executor level for -eval sim|hybrid (%s) — results are bit-identical at every level, only the measurement speed changes",
+			strings.Join(pipesim.ExecLevelNames(), " | ")))
 	jobs := fs.Int("j", 0, "parallel evaluation workers (0 = all CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	if err := fs.Parse(args); err != nil {
@@ -121,9 +131,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	exec, err := pipesim.ParseExecLevel(*simExec)
+	if err != nil {
+		return err
+	}
 	opt := options{kernel: *kernel, form: form, mode: mode, strategy: st,
 		search: dse.SearchOptions{Budget: dse.Budget{MaxEvals: *budget}, Seed: *seed},
-		nki:    *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv}
+		exec:   exec, nki: *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv}
 
 	if *devices != "" {
 		return runDevices(out, opt, strings.Split(*devices, ","))
@@ -155,7 +169,7 @@ func runSingle(out io.Writer, opt options, targetName string) error {
 		return err
 	}
 	res, err := c.ExploreSpaceMode(opt.mode, build, space, perf.Workload{NKI: opt.nki},
-		opt.form, opt.strategy, opt.jobs, dse.SimConfig{}, opt.search)
+		opt.form, opt.strategy, opt.jobs, opt.simConfig(), opt.search)
 	if err != nil {
 		return err
 	}
@@ -210,7 +224,7 @@ func runDevices(out io.Writer, opt options, names []string) error {
 		return err
 	}
 	res, err := core.ExploreDevices(opt.mode, shelf, build, space, perf.Workload{NKI: opt.nki},
-		opt.form, opt.strategy, opt.jobs, dse.SimConfig{}, opt.search)
+		opt.form, opt.strategy, opt.jobs, opt.simConfig(), opt.search)
 	if err != nil {
 		return err
 	}

@@ -78,6 +78,12 @@ type SimConfig struct {
 	Seed int64
 	// Inputs overrides the workload generator; nil selects SimInputs.
 	Inputs func(m *tir.Module, seed int64) (map[string][]int64, error)
+	// Exec selects the executor escalation level the measurement Runner
+	// compiles with (zero value = batched + fused). Any level yields
+	// byte-identical cycle counts and outputs — the executors are pinned
+	// bit-exact against each other — so this is a speed knob, not a
+	// result knob.
+	Exec pipesim.Config
 }
 
 // withDefaults resolves the zero values.
@@ -304,7 +310,7 @@ func (sm *simMeasurer) runMeasurement(lanes int) (simMeasure, error) {
 	if err != nil {
 		return simMeasure{}, fmt.Errorf("dse: generating %d-lane workload: %w", lanes, err)
 	}
-	r, err := pipesim.NewRunner(m)
+	r, err := pipesim.NewRunnerConfig(m, sm.cfg.Exec)
 	if err != nil {
 		return simMeasure{}, fmt.Errorf("dse: compiling %d-lane variant: %w", lanes, err)
 	}

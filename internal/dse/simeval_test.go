@@ -220,6 +220,50 @@ func TestSimEvaluatorDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDifferentialSimExecBatchedVsScalar pins the sim-backed DSE
+// results across the executor escalation levels: exploring with the
+// batched+fused executor, the fusion-only level and the plain scalar
+// loop must produce byte-identical results (cycle counts, throughput
+// bit patterns, best design) at one worker and at all CPUs. The
+// SimConfig.Exec knob may change measurement speed only, never a
+// number.
+func TestDifferentialSimExecBatchedVsScalar(t *testing.T) {
+	mdl, bw := fixtures(t)
+	w := perf.Workload{NKI: 10}
+	levels := []pipesim.Config{
+		{},                                      // batched + fused
+		{DisableFuse: true},                     // batched only
+		{DisableBatch: true, DisableFuse: true}, // scalar
+	}
+	for name, family := range kernelFamilies() {
+		build := func(l int) (*tir.Module, error) { return family(l).Module() }
+		var want string
+		for _, exec := range levels {
+			for _, workers := range []int{1, runtime.NumCPU()} {
+				space, err := NewSpace(LanesAxis(diffLanes))
+				if err != nil {
+					t.Fatal(err)
+				}
+				eval := NewSimEvaluator(mdl, bw, build, w, perf.FormB,
+					SimConfig{Measure: 2, Exec: exec})
+				res, err := NewEngine(space, eval, workers).Run(Exhaustive{})
+				if err != nil {
+					t.Fatalf("%s exec=%+v workers=%d: %v", name, exec, workers, err)
+				}
+				got := fingerprintResult(res)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: result fingerprint at exec=%+v workers=%d differs from batched executor",
+						name, exec, workers)
+				}
+			}
+		}
+	}
+}
+
 // hasFloatDatapath reports whether any function body contains a
 // float-typed datapath instruction. The pipeline simulator is
 // integer-only by design (the paper's kernels are fixed-point), so

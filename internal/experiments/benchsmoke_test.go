@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// -experiments.benchsmoke gates the timing-sensitive smoke below so the
+// default `go test ./...` run stays load-immune; CI runs it as its own
+// step:
+//
+//	go test ./internal/experiments -experiments.benchsmoke -run PipesimBenchSmoke
+var benchSmoke = flag.Bool("experiments.benchsmoke", false,
+	"run the pipesim executor-escalation perf smoke (timing-sensitive)")
+
+// TestPipesimBenchSmoke regenerates the BENCH_PIPESIM measurements at a
+// short budget and fails if the batched+fused executor is slower than
+// the scalar compiled loop on any corpus kernel. The committed margin
+// is >2x per kernel, so a >=1.0 gate only trips on a real regression
+// (e.g. a kernel silently falling off the batched path), not on CI
+// noise.
+func TestPipesimBenchSmoke(t *testing.T) {
+	if !*benchSmoke {
+		t.Skip("timing smoke; enable with -experiments.benchsmoke")
+	}
+	r, err := PipesimBench(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.SpeedupVsScalar < 1.0 {
+			t.Errorf("%s: batched executor slower than scalar: %d ns/op vs %d ns/op (%.2fx)",
+				row.Kernel, row.BatchedNsOp, row.ScalarNsOp, row.SpeedupVsScalar)
+		}
+		if row.Fusion.Total() == 0 {
+			t.Errorf("%s: no superinstruction fusions applied", row.Kernel)
+		}
+	}
+}

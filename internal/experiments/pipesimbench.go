@@ -1,9 +1,12 @@
 // Pipesim benchmark report: the machine-readable perf trajectory of the
 // simulator, committed as BENCH_PIPESIM.json at the repo root (see
-// DESIGN.md). Each golden kernel is timed through three paths — the
-// retained interpreter oracle, the compile-per-call executor, and the
-// compile-once Runner — so regressions in either the compiled datapath
-// or the compilation cost itself are visible in review diffs.
+// DESIGN.md). Each golden kernel is timed through the executor
+// escalation — the retained interpreter oracle, the compile-per-call
+// executor, the compile-once Runner at the plain scalar level, and the
+// batched+fused Runner — so regressions in the compiled datapath, the
+// compilation cost, or the batching/fusion win are visible in review
+// diffs. Per-kernel fusion counts ride along so a rule regression shows
+// up even when timing noise hides it.
 
 package experiments
 
@@ -28,13 +31,30 @@ type PipesimBenchRow struct {
 	// CompiledNsOp is pipesim.Run: validate + compile + execute, the
 	// cost a cold DSE point pays.
 	CompiledNsOp int64 `json:"compiled_ns_op"`
-	// RunnerNsOp is Runner.Run on a pre-built Runner: the amortised
-	// per-instance cost iteration loops pay.
+	// RunnerNsOp is Runner.Run on a pre-built Runner at the default
+	// (batched + fused) escalation: the amortised per-instance cost
+	// iteration loops pay.
 	RunnerNsOp int64 `json:"runner_ns_op"`
+	// ScalarNsOp is a pre-built Runner compiled with batching and
+	// fusion disabled: the plain per-item compiled loop, the baseline
+	// the batched executor is measured against.
+	ScalarNsOp int64 `json:"scalar_ns_op"`
+	// BatchedNsOp is the pre-built batched+fused Runner (same
+	// measurement as RunnerNsOp, named so the escalation pair
+	// scalar/batched reads off the row directly).
+	BatchedNsOp int64 `json:"batched_ns_op"`
 	// SpeedupCompiled is OracleNsOp / CompiledNsOp.
 	SpeedupCompiled float64 `json:"speedup_compiled"`
 	// SpeedupRunner is OracleNsOp / RunnerNsOp.
 	SpeedupRunner float64 `json:"speedup_runner"`
+	// SpeedupBatched is OracleNsOp / BatchedNsOp.
+	SpeedupBatched float64 `json:"speedup_batched"`
+	// SpeedupVsScalar is ScalarNsOp / BatchedNsOp: the isolated win of
+	// batching + fusion over the scalar compiled loop.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+	// Fusion counts the superinstruction rewrites the kernel's programs
+	// took at the default escalation.
+	Fusion pipesim.FusionStats `json:"fusion"`
 }
 
 // PipesimBenchResult is the whole report.
@@ -69,7 +89,7 @@ func PipesimBench(minTime time.Duration) (*PipesimBenchResult, error) {
 		minTime = 250 * time.Millisecond
 	}
 	res := &PipesimBenchResult{
-		Schema: "tytra-bench-pipesim/v1",
+		Schema: "tytra-bench-pipesim/v2",
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		CPUs:   runtime.GOMAXPROCS(0),
@@ -117,8 +137,23 @@ func PipesimBench(minTime time.Duration) (*PipesimBenchResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		row.BatchedNsOp = row.RunnerNsOp
+		row.Fusion = runner.FusionStats()
+		scalar, err := pipesim.NewRunnerConfig(m, pipesim.Config{DisableBatch: true, DisableFuse: true})
+		if err != nil {
+			return nil, err
+		}
+		row.ScalarNsOp, err = timeIt(minTime, func() error {
+			_, err := scalar.Run(mem)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
 		row.SpeedupCompiled = float64(row.OracleNsOp) / float64(row.CompiledNsOp)
 		row.SpeedupRunner = float64(row.OracleNsOp) / float64(row.RunnerNsOp)
+		row.SpeedupBatched = float64(row.OracleNsOp) / float64(row.BatchedNsOp)
+		row.SpeedupVsScalar = float64(row.ScalarNsOp) / float64(row.BatchedNsOp)
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

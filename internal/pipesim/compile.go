@@ -66,6 +66,20 @@ const (
 	uopAccAddU // acc[dst] = (a + b) & mask
 	uopOutU    // outs[sidx][i] = (a) & mask
 	uopMoveWrapU
+
+	// Fused superinstructions, produced only by the peephole pass in
+	// fuse.go — the compiler front end never emits them directly.
+
+	// uopMulAddU is the fused multiply-add: regs[dst] = (a*b + c) & mask.
+	uopMulAddU
+	// uopMulAccU is the fused multiply-accumulate:
+	// acc[dst] = (a*b + c) & mask.
+	uopMulAccU
+	// uopLoadOffBinU fuses a window load into a specialised unsigned
+	// binary op: the loaded element (zero-filled out of bounds) feeds
+	// side c (0: left, 1: right) of the opcode stored in b, the other
+	// operand comes from encoding a.
+	uopLoadOffBinU
 )
 
 // op is one compiled datapath step. Operand encoding: a non-negative
@@ -116,6 +130,19 @@ type accInfo struct {
 	// partials starting from the identity merge to the bit-exact
 	// sequential result.
 	mergeable bool
+	// readOutsideSelf reports a read of this accumulator anywhere but a
+	// reduction's own self-operand. Combined with written it pins the
+	// program to item order (batching would reorder the read against
+	// other items' writes).
+	readOutsideSelf bool
+	// writeSites counts the distinct ops writing this accumulator. With
+	// one site the batched per-lane write loop replays the scalar order
+	// exactly; with several, batching interleaves sites differently, so
+	// it is only allowed when the writes form a mergeable reduction.
+	writeSites int
+	// allSelfRead reports every write is op(self, pure-value) — exactly
+	// one self operand and no other accumulator operand.
+	allSelfRead bool
 }
 
 // program is the compiled form of one PE call site: the slot-indexed
@@ -136,6 +163,19 @@ type program struct {
 	// reads no accumulator outside the reduction self-read and every
 	// accumulator it writes is mergeable.
 	parSafe bool
+
+	// [loffLo, loffHi) is the interior: the work-item range where every
+	// window load (uopLoadOff/uopLoadOffBinU) is in bounds, computed
+	// from the static stream shapes. The scalar executor runs it without
+	// the per-item bounds branch; the batched executor runs it in full
+	// batchN chunks.
+	loffLo, loffHi int64
+	// fused counts the superinstruction rewrites fuse.go applied.
+	fused FusionStats
+	// bops/bregs are the batched form (nil when the program is not
+	// batch-safe or batching is disabled); see batch.go.
+	bops  []op
+	bregs []lane
 
 	// Reusable scratch. A program belongs to exactly one call site of
 	// one Runner, and parallel lanes are distinct call sites, so the
@@ -172,9 +212,10 @@ type constSlot struct {
 
 // compileCall lowers the pipe function fn as invoked by call: it
 // performs bind()'s static port checks, resolves offset roots, flattens
-// comb children, pre-computes the fill terms and allocates the reusable
+// comb children, pre-computes the fill terms, escalates the executor
+// (fusion, then batching — see cfg) and allocates the reusable
 // execution scratch.
-func compileCall(m *tir.Module, call *tir.CallInstr, fn *tir.Function) (*program, error) {
+func compileCall(m *tir.Module, call *tir.CallInstr, fn *tir.Function, cfg Config) (*program, error) {
 	c := &compiler{
 		m: m, fn: fn,
 		prog:      &program{fn: fn},
@@ -335,7 +376,79 @@ func compileCall(m *tir.Module, call *tir.CallInstr, fn *tir.Function) (*program
 	c.prog.accVals = make([]int64, len(c.prog.accs))
 	c.prog.inArrs = make([][]int64, len(c.prog.ins))
 	c.prog.outArrs = make([][]int64, len(c.prog.outs))
-	return c.prog, nil
+
+	// Executor escalation: peephole fusion, then batch lowering. Both
+	// run after fill/parSafe are final — neither changes accounting.
+	p := c.prog
+	aliased := p.selfAliasedStreams()
+	if !cfg.DisableFuse {
+		p.ops, p.fused = fusePeephole(p.ops, aliased)
+	}
+	p.computeInterior()
+	if !cfg.DisableBatch && !aliased && p.batchSafe() {
+		p.buildBatch()
+	}
+	return p, nil
+}
+
+// selfAliasedStreams reports whether an input stream and an output
+// stream of this program share a memory object (the self-wired
+// LocalChannel pattern). Loads then observe earlier out-writes of the
+// same invocation, which pins execution to strict item order: no
+// batching, no load sinking.
+func (p *program) selfAliasedStreams() bool {
+	for _, ob := range p.outs {
+		for _, ib := range p.ins {
+			if ib.mem == ob.mem {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeInterior intersects the in-bounds ranges of every window load:
+// a load at offset off over a stream of size s is in bounds for items
+// in [max(0,-off), min(items, s-off)). Stream shapes are static, so the
+// region is exact, not a heuristic.
+func (p *program) computeInterior() {
+	lo, hi := int64(0), p.items
+	for k := range p.ops {
+		o := &p.ops[k]
+		if o.code != uopLoadOff && o.code != uopLoadOffBinU {
+			continue
+		}
+		if -o.off > lo {
+			lo = -o.off
+		}
+		if s := p.ins[o.sidx].size - o.off; s < hi {
+			hi = s
+		}
+	}
+	if lo > p.items {
+		lo = p.items
+	}
+	if hi < lo {
+		hi = lo
+	}
+	p.loffLo, p.loffHi = lo, hi
+}
+
+// batchSafe reports that op-major execution inside a batch cannot be
+// observed through the accumulators: an accumulator that is both
+// written and read outside its own reduction pins item order, and
+// multiple write sites interleave differently under batching unless
+// every site is the same mergeable reduction in op(self, value) form.
+func (p *program) batchSafe() bool {
+	for _, a := range p.accs {
+		if a.written && a.readOutsideSelf {
+			return false
+		}
+		if a.writeSites > 1 && !(a.mergeable && a.allSelfRead) {
+			return false
+		}
+	}
+	return true
 }
 
 // compileALU lowers the pure-datapath instructions shared by pipe
@@ -436,13 +549,15 @@ func (c *compiler) compileAccWrite(it *tir.BinInstr, a, b int32, fn2 func(int64,
 	ai := c.accSlot(it.Dst)
 	info := c.prog.accs[ai]
 	id, mergeable := tir.AccIdentity(it.Op, it.Ty)
-	if !info.written {
+	first := !info.written
+	if first {
 		info.written = true
 		info.opc, info.ty = it.Op, it.Ty
 		info.mergeOp, info.identity, info.mergeable = fn2, id, mergeable
 	} else if info.opc != it.Op || info.ty != it.Ty {
 		info.mergeable = false
 	}
+	info.writeSites++
 	// Exactly one operand must be the self-read for partials to merge;
 	// any other accumulator operand is an order-dependent read.
 	selfA := it.A.Kind == tir.OpGlobal && it.A.Name == it.Dst
@@ -450,8 +565,18 @@ func (c *compiler) compileAccWrite(it *tir.BinInstr, a, b int32, fn2 func(int64,
 	if selfA == selfB {
 		c.parSafe = false
 	}
-	if (!selfA && it.A.Kind == tir.OpGlobal) || (!selfB && it.B.Kind == tir.OpGlobal) {
-		c.parSafe = false
+	if !selfA && it.A.Kind == tir.OpGlobal {
+		c.noteAccRead(a)
+	}
+	if !selfB && it.B.Kind == tir.OpGlobal {
+		c.noteAccRead(b)
+	}
+	selfForm := selfA != selfB &&
+		!(!selfA && it.A.Kind == tir.OpGlobal) && !(!selfB && it.B.Kind == tir.OpGlobal)
+	if first {
+		info.allSelfRead = selfForm
+	} else if !selfForm {
+		info.allSelfRead = false
 	}
 	if drainEligible {
 		if l := int64(it.Op.Latency(it.Ty.Bits)); l > c.drain {
@@ -517,10 +642,11 @@ func (c *compiler) inlineComb(call *tir.CallInstr) error {
 			scope[param.Name] = c.constSlot(a.Imm)
 		case tir.OpGlobal:
 			// The accumulator is sampled at the call position.
-			c.parSafe = false
+			enc := c.accEnc(a.Name)
+			c.noteAccRead(enc)
 			dst := c.newSlot()
 			scope[param.Name] = dst
-			c.emit(op{code: uopMove, dst: dst, a: c.accEnc(a.Name)})
+			c.emit(op{code: uopMove, dst: dst, a: enc})
 		default:
 			s, ok := c.slots[a.Name]
 			if !ok {
@@ -581,10 +707,12 @@ func (c *compiler) resolve(o tir.Operand, scope map[string]int32, fname string) 
 }
 
 // noteAccRead marks the program order-dependent when an operand reads
-// an accumulator outside the reduction self-read.
+// an accumulator outside the reduction self-read, and records the read
+// on the accumulator for the batch-safety analysis.
 func (c *compiler) noteAccRead(enc int32) {
 	if enc < 0 {
 		c.parSafe = false
+		c.prog.accs[-1-enc].readOutsideSelf = true
 	}
 }
 
@@ -622,25 +750,64 @@ func (c *compiler) accSlot(name string) int32 {
 
 // exec streams every work-item through the compiled datapath. ins and
 // outs are the bound memory arrays in program order; acc is the
-// accumulator slab in program order. The loop performs no allocation
-// and no map access.
+// accumulator slab in program order. Batch-safe programs run the
+// interior on the batched executor (batch.go); everything else runs the
+// scalar loop in three regions, so the uopLoadOff bounds branch is paid
+// only at the boundaries. Neither path allocates or touches a map.
 func (p *program) exec(ins, outs [][]int64, acc []int64) {
+	if p.bops != nil {
+		p.execBatched(ins, outs, acc)
+		return
+	}
+	p.execRange(ins, outs, acc, 0, p.loffLo, true)
+	p.execRange(ins, outs, acc, p.loffLo, p.loffHi, false)
+	p.execRange(ins, outs, acc, p.loffHi, p.items, true)
+}
+
+// execRange is the scalar loop over work-items [i0, i1). checked=false
+// asserts every window load in the range is in bounds (the interior
+// region computeInterior proved), dropping the branch and the zero-fill
+// path from the steady state.
+func (p *program) execRange(ins, outs [][]int64, acc []int64, i0, i1 int64, checked bool) {
 	regs := p.regs
 	ops := p.ops
-	for i := int64(0); i < p.items; i++ {
+	for i := i0; i < i1; i++ {
 		for k := range ops {
 			o := &ops[k]
 			switch o.code {
 			case uopLoadIn:
 				regs[o.dst] = ins[o.sidx][i]
 			case uopLoadOff:
-				src := ins[o.sidx]
-				j := i + o.off
-				var v int64
-				if j >= 0 && j < int64(len(src)) {
-					v = src[j]
+				if checked {
+					src := ins[o.sidx]
+					j := i + o.off
+					var v int64
+					if j >= 0 && j < int64(len(src)) {
+						v = src[j]
+					}
+					regs[o.dst] = v
+				} else {
+					regs[o.dst] = ins[o.sidx][i+o.off]
 				}
-				regs[o.dst] = v
+			case uopMulAddU:
+				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)*ld(regs, acc, o.b)+ld(regs, acc, o.c)) & o.mask)
+			case uopMulAccU:
+				acc[o.dst] = int64(uint64(ld(regs, acc, o.a)*ld(regs, acc, o.b)+ld(regs, acc, o.c)) & o.mask)
+			case uopLoadOffBinU:
+				var v int64
+				if checked {
+					src := ins[o.sidx]
+					if j := i + o.off; j >= 0 && j < int64(len(src)) {
+						v = src[j]
+					}
+				} else {
+					v = ins[o.sidx][i+o.off]
+				}
+				w := ld(regs, acc, o.a)
+				if o.c != 0 {
+					v, w = w, v
+				}
+				regs[o.dst] = loadOffApply(uop(o.b), v, w, o.mask)
 			case uopAddU:
 				regs[o.dst] = int64(uint64(ld(regs, acc, o.a)+ld(regs, acc, o.b)) & o.mask)
 			case uopSubU:
@@ -709,4 +876,41 @@ func ld(regs, acc []int64, s int32) int64 {
 		return regs[s]
 	}
 	return acc[-1-s]
+}
+
+// loadOffApply evaluates the sub-opcode of a uopLoadOffBinU on the
+// scalar path, bit-identical to the corresponding specialised unsigned
+// case of execRange (operands already side-swapped by the caller).
+func loadOffApply(sub uop, x, y int64, mask uint64) int64 {
+	switch sub {
+	case uopAddU:
+		return int64(uint64(x+y) & mask)
+	case uopSubU:
+		return int64(uint64(x-y) & mask)
+	case uopMulU:
+		return int64(uint64(x*y) & mask)
+	case uopAndU:
+		return int64(uint64(x&y) & mask)
+	case uopOrU:
+		return int64(uint64(x|y) & mask)
+	case uopXorU:
+		return int64(uint64(x^y) & mask)
+	case uopShlU:
+		return int64(uint64(x<<(uint64(y)&63)) & mask)
+	case uopLshrU:
+		return int64((uint64(x) & mask) >> (uint64(y) & 63))
+	case uopMinU:
+		a, b := uint64(x)&mask, uint64(y)&mask
+		if b < a {
+			a = b
+		}
+		return int64(a)
+	case uopMaxU:
+		a, b := uint64(x)&mask, uint64(y)&mask
+		if b > a {
+			a = b
+		}
+		return int64(a)
+	}
+	return 0
 }

@@ -16,6 +16,45 @@ import (
 // in shipped binaries).
 var Oracle bool
 
+// Config selects the executor escalation level a Runner compiles with.
+// The zero value is the full escalation (fusion + batching), which is
+// what Run, RunIterations and NewRunner use; the Disable knobs exist
+// for differential testing and benchmarking of the fallback paths
+// (-pipesim.scalar and -pipesim.nofuse replay the whole suite on them).
+// Every level is bit-identical by construction — the knobs trade speed,
+// never semantics.
+type Config struct {
+	// DisableBatch keeps every program on the scalar per-item loop.
+	DisableBatch bool
+	// DisableFuse skips the superinstruction peephole pass (fuse.go).
+	DisableFuse bool
+}
+
+// defaultConfig is the package-wide compile configuration, flipped only
+// by the test flags registered in oracle_test.go.
+var defaultConfig Config
+
+// ExecLevelNames lists the executor escalation levels ParseExecLevel
+// accepts, fastest first — the spelling CLI flags should advertise.
+func ExecLevelNames() []string { return []string{"batched", "nofuse", "scalar"} }
+
+// ParseExecLevel resolves a named executor escalation level (a CLI
+// -simexec value) to its compile configuration: "batched" (the default
+// full escalation), "nofuse" (batched, fusion off), "scalar" (the plain
+// per-item compiled loop, fusion off). All levels produce bit-identical
+// results; the name only picks how fast the simulator gets them.
+func ParseExecLevel(s string) (Config, error) {
+	switch s {
+	case "", "batched":
+		return Config{}, nil
+	case "nofuse":
+		return Config{DisableFuse: true}, nil
+	case "scalar":
+		return Config{DisableBatch: true, DisableFuse: true}, nil
+	}
+	return Config{}, fmt.Errorf("pipesim: unknown executor level %q (have: %v)", s, ExecLevelNames())
+}
+
 // Run executes the design variant on the given memory-object contents.
 // mem must provide an array of exactly the declared size for every
 // memory object that feeds an input stream not produced by another
@@ -51,13 +90,21 @@ func Run(m *tir.Module, mem map[string][]int64) (*Result, error) {
 type Runner struct {
 	m       *tir.Module
 	tree    *tir.ConfigNode
+	cfg     Config
 	progs   map[*tir.CallInstr]*program
 	calls   map[*tir.ConfigNode][]*tir.CallInstr // per-node call sites, resolved once
 	workers int
 }
 
-// NewRunner validates and compiles the module.
+// NewRunner validates and compiles the module at the default executor
+// escalation (fusion + batching).
 func NewRunner(m *tir.Module) (*Runner, error) {
+	return NewRunnerConfig(m, defaultConfig)
+}
+
+// NewRunnerConfig validates and compiles the module at an explicit
+// executor escalation level.
+func NewRunnerConfig(m *tir.Module, cfg Config) (*Runner, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,6 +115,7 @@ func NewRunner(m *tir.Module) (*Runner, error) {
 	r := &Runner{
 		m:       m,
 		tree:    tree,
+		cfg:     cfg,
 		progs:   map[*tir.CallInstr]*program{},
 		calls:   map[*tir.ConfigNode][]*tir.CallInstr{},
 		workers: runtime.GOMAXPROCS(0),
@@ -76,6 +124,29 @@ func NewRunner(m *tir.Module) (*Runner, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// FusionStats sums the superinstruction rewrites applied across every
+// compiled program of the design.
+func (r *Runner) FusionStats() FusionStats {
+	var s FusionStats
+	for _, p := range r.progs {
+		s.add(p.fused)
+	}
+	return s
+}
+
+// BatchedPrograms reports how many of the compiled programs run on the
+// batched executor; the rest fall back to the scalar loop (self-aliased
+// streams, order-dependent accumulator use, or DisableBatch).
+func (r *Runner) BatchedPrograms() (batched, total int) {
+	for _, p := range r.progs {
+		total++
+		if p.bops != nil {
+			batched++
+		}
+	}
+	return
 }
 
 // SetWorkers bounds the goroutine pool used for concurrent par lanes.
@@ -100,7 +171,7 @@ func (r *Runner) compileTree(n *tir.ConfigNode) error {
 			continue
 		}
 		if child.Mode == tir.ModePipe && len(child.Func.Params) > 0 {
-			p, err := compileCall(r.m, calls[i], child.Func)
+			p, err := compileCall(r.m, calls[i], child.Func, r.cfg)
 			if err != nil {
 				return err
 			}
