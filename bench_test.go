@@ -453,10 +453,12 @@ func benchBind(b *testing.B, spec kernels.LanedSpec) (*tir.Module, map[string][]
 	return m, mem
 }
 
-// BenchmarkPipesimRun prices one compiled kernel-instance per golden
-// kernel through pipesim.Run — validate + compile + execute, the cost a
-// cold simulation-backed DSE point pays. The committed baseline and the
-// interpreter it must beat by >=10x on sor live in BENCH_PIPESIM.json.
+// BenchmarkPipesimRun prices one kernel-instance per golden kernel
+// through the package-level pipesim.Run convenience: since the
+// design-cache change this is a cache hit plus a pooled-instance run,
+// not a recompile — the cold compile cost moved to
+// BenchmarkPipesimCompile. The committed baseline and the interpreter
+// it must beat live in BENCH_PIPESIM.json.
 func BenchmarkPipesimRun(b *testing.B) {
 	for _, spec := range experiments.PipesimBenchSpecs() {
 		b.Run(spec.Name(), func(b *testing.B) {
@@ -472,6 +474,87 @@ func BenchmarkPipesimRun(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.Cycles), "cycles")
 			b.ReportMetric(float64(res.Items)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+		})
+	}
+}
+
+// BenchmarkPipesimCompile prices the true cold path — validate +
+// compile + execute through an uncached CompiledDesign — the cost a
+// cache-missing simulation-backed DSE point pays (the compiled_ns_op
+// column of BENCH_PIPESIM.json).
+func BenchmarkPipesimCompile(b *testing.B) {
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		b.Run(spec.Name(), func(b *testing.B) {
+			m, mem := benchBind(b, spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := pipesim.CompileConfig(m, pipesim.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Run(mem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipesimPooled prices the steady-state pooled-instance run on
+// a shared CompiledDesign — what a concurrent service pays per request
+// after warmup. Allocations are part of the contract (no scratch, no
+// input copies; see the pooled_* columns of BENCH_PIPESIM.json), so the
+// benchmark always reports them.
+func BenchmarkPipesimPooled(b *testing.B) {
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		b.Run(spec.Name(), func(b *testing.B) {
+			m, mem := benchBind(b, spec)
+			d, err := pipesim.Compile(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Run(mem); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Run(mem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipesimConcurrent drives ONE shared CompiledDesign from
+// GOMAXPROCS goroutines on pooled instances: the throughput-scaling
+// story of the compile/instance split (the throughput_j* columns of
+// BENCH_PIPESIM.json). Compare items/s against BenchmarkPipesimPooled
+// to read the scaling on this host.
+func BenchmarkPipesimConcurrent(b *testing.B) {
+	for _, spec := range experiments.PipesimBenchSpecs() {
+		b.Run(spec.Name(), func(b *testing.B) {
+			m, mem := benchBind(b, spec)
+			d, err := pipesim.Compile(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var items int64
+			if res, err := d.Run(mem); err != nil { // warm the pool
+				b.Fatal(err)
+			} else {
+				items = res.Items
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := d.Run(mem); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(float64(items)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
 		})
 	}
 }

@@ -65,6 +65,13 @@ func TestRunJSONBenchReport(t *testing.T) {
 			ScalarNsOp      int64   `json:"scalar_ns_op"`
 			BatchedNsOp     int64   `json:"batched_ns_op"`
 			SpeedupCompiled float64 `json:"speedup_compiled"`
+			PooledNsOp      int64   `json:"pooled_ns_op"`
+			PooledBytesOp   float64 `json:"pooled_alloc_bytes_op"`
+			SeedBytesOp     float64 `json:"seed_equiv_alloc_bytes_op"`
+			AllocReduction  float64 `json:"alloc_reduction"`
+			ThroughputJ1    float64 `json:"throughput_j1_ops_s"`
+			ThroughputJ4    float64 `json:"throughput_j4_ops_s"`
+			ThroughputJ8    float64 `json:"throughput_j8_ops_s"`
 			Fusion          struct {
 				MulAdd   int `json:"mul_add"`
 				MulAcc   int `json:"mul_acc"`
@@ -76,15 +83,34 @@ func TestRunJSONBenchReport(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Fatalf("output is not the expected JSON: %v\n%s", err, out.String())
 	}
-	if rep.Schema != "tytra-bench-pipesim/v2" {
+	if rep.Schema != "tytra-bench-pipesim/v3" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	want := map[string]bool{"sor": true, "hotspot": true, "lavamd": true, "srad": true}
 	for _, r := range rep.Rows {
 		delete(want, r.Kernel)
 		if r.Items <= 0 || r.OracleNsOp <= 0 || r.CompiledNsOp <= 0 || r.RunnerNsOp <= 0 ||
-			r.ScalarNsOp <= 0 || r.BatchedNsOp <= 0 {
+			r.ScalarNsOp <= 0 || r.BatchedNsOp <= 0 || r.PooledNsOp <= 0 {
 			t.Errorf("%s: non-positive measurement: %+v", r.Kernel, r)
+		}
+		if r.ThroughputJ1 <= 0 || r.ThroughputJ4 <= 0 || r.ThroughputJ8 <= 0 {
+			t.Errorf("%s: non-positive concurrent throughput: %+v", r.Kernel, r)
+		}
+		// Allocation columns are load-immune (monotonic malloc counters,
+		// not wall clock), so the headline split win is exact-testable
+		// even at a tiny time budget: dropping the defensive input
+		// copies must cut allocated bytes per run by the input share of
+		// the kernel's traffic. That is ~2/3 for 2-input kernels and
+		// exactly 1/2 for the 1-input ones (srad), so the cross-kernel
+		// floor sits just under the 1-input boundary; the strict >= 50%
+		// gate lives on the 2-input SOR kernel in pipesim's
+		// TestPooledRunAllocations.
+		if r.SeedBytesOp <= 0 || r.PooledBytesOp <= 0 {
+			t.Errorf("%s: non-positive allocation measurement: %+v", r.Kernel, r)
+		}
+		if r.AllocReduction < 0.45 {
+			t.Errorf("%s: pooled run allocates %.0f bytes vs seed-equivalent %.0f (reduction %.2f, want >= 0.45)",
+				r.Kernel, r.PooledBytesOp, r.SeedBytesOp, r.AllocReduction)
 		}
 		// No speedup threshold here: with a tiny -benchtime a scheduler
 		// stall can flip the ratio on a loaded CI runner. The >=10x

@@ -37,10 +37,12 @@ func main() {
 	p := fields["p"]
 	rhs := fields["rhs"]
 
-	// Compile the design once: the solver loop below re-executes the
-	// same variant every sweep, so it runs on the reusable arena rather
-	// than re-validating and re-lowering the datapath per instance.
-	runner, err := pipesim.NewRunner(m)
+	// Compile the design once into its immutable, shareable form: the
+	// solver loop below re-executes the same variant every sweep, so it
+	// runs on a pooled instance of the compiled design rather than
+	// re-validating and re-lowering the datapath per instance. (A
+	// service could hand this same design to any number of goroutines.)
+	design, err := pipesim.Compile(m)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	first, err := runner.Run(mem)
+	first, err := design.Run(mem)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 		}
 		fb[kernels.MemName("p_new", lane)] = kernels.MemName("p", lane)
 	}
-	res, err := runner.RunIterations(mem, nmaxp, fb)
+	res, err := design.RunIterations(mem, nmaxp, fb)
 	if err != nil {
 		log.Fatal(err)
 	}

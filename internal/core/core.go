@@ -121,16 +121,30 @@ func (c *Compiler) Synthesize(m *tir.Module) (*fabric.Netlist, error) {
 }
 
 // Simulate executes the design variant cycle-accurately on the given
-// memory contents, producing outputs and the actual CPKI. One-shot; see
-// SimRunner for loops.
+// memory contents, producing outputs and the actual CPKI. Repeat calls
+// on the same module hit pipesim's bounded design cache, so even the
+// one-shot convenience path compiles at most once per module; loops
+// and concurrent consumers should still hold a SimDesign.
 func (c *Compiler) Simulate(m *tir.Module, mem map[string][]int64) (*pipesim.Result, error) {
 	return pipesim.Run(m, mem)
 }
 
+// SimDesign validates and compiles the design variant once into an
+// immutable, concurrency-safe artifact: iteration drivers,
+// simulation-backed exploration loops and concurrent services share
+// one SimDesign and execute it through cheap pooled instances
+// (design.Run, or design.Acquire/Release around Instance.Run) instead
+// of paying compilation per Simulate call or per goroutine.
+func (c *Compiler) SimDesign(m *tir.Module) (*pipesim.CompiledDesign, error) {
+	return pipesim.Compile(m)
+}
+
 // SimRunner validates and compiles the design variant once, returning
-// the reusable simulator arena: iteration drivers and simulation-backed
-// exploration loops amortise datapath compilation across instances
-// instead of paying it per Simulate call.
+// the reusable single-goroutine simulator arena.
+//
+// Deprecated: a Runner is one design + one instance and cannot be
+// shared across goroutines. New code should use SimDesign and run
+// pooled instances of it.
 func (c *Compiler) SimRunner(m *tir.Module) (*pipesim.Runner, error) {
 	return pipesim.NewRunner(m)
 }

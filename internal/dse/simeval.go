@@ -158,29 +158,59 @@ type simMeasure struct {
 	cycles, items int64
 }
 
-// simArena owns the measurement of one lane count. The once-cell means
-// exactly one engine worker ever compiles and drives the arena's
-// pipesim.Runner; every other worker waits on the settled measurement
-// instead of sharing compiled-program scratch. fclk and form axes
-// re-price a measurement, they never re-run it — which is what makes
-// an fclk sweep through the sim evaluator nearly free.
-type simArena struct {
-	cell onceCell[simMeasure]
+// measOutcome is a settled measurement (or its error), stored once per
+// lane count.
+type measOutcome struct {
+	meas simMeasure
+	err  error
 }
 
-// simMeasurer owns the per-lane-count measurement arenas over a shared
-// module cache. It is its own type so the device-aware evaluator can
-// share one measurer across every shelf entry: the simulated cycle
-// count of a variant depends only on its module, never on the device
-// (devices re-price a measurement through FD, they never re-run it).
+// simMeasurer owns one immutable pipesim.CompiledDesign per lane count
+// over a shared module cache, plus the memoised measurements taken on
+// them. It is its own type so the device-aware evaluator can share one
+// measurer across every shelf entry: the simulated cycle count of a
+// variant depends only on its module, never on the device (devices
+// re-price a measurement through FD, they never re-run it).
+//
+// Unlike the pre-split arena — where one engine worker owned a mutable
+// Runner and every other worker blocked on a once-cell until it
+// finished — the designs here are concurrency-safe, so workers that
+// race a cold lane count each drive their own pooled Instance and the
+// first settled result wins. Racers cross-check their result against
+// the stored one, extending the determinism contract to concurrent
+// measurement. fclk and form axes re-price a measurement, they never
+// re-run it — which is what makes an fclk sweep through the sim
+// evaluator nearly free.
 type simMeasurer struct {
-	mods   *moduleCache
-	cfg    SimConfig
-	arenas sync.Map // lanes int -> *simArena
+	mods    *moduleCache
+	cfg     SimConfig
+	designs sync.Map // lanes int -> *onceCell[*pipesim.CompiledDesign]
+	meas    sync.Map // lanes int -> measOutcome
 }
 
 func newSimMeasurer(mods *moduleCache, cfg SimConfig) *simMeasurer {
 	return &simMeasurer{mods: mods, cfg: cfg.withDefaults()}
+}
+
+// design returns the shared compiled design of a lane count, compiling
+// it exactly once at the measurer's executor escalation level. The
+// design is immutable: callers run it through pooled instances, never
+// by sharing scratch.
+func (sm *simMeasurer) design(lanes int) (*pipesim.CompiledDesign, error) {
+	c, _ := sm.designs.LoadOrStore(lanes, &onceCell[*pipesim.CompiledDesign]{})
+	cell := c.(*onceCell[*pipesim.CompiledDesign])
+	cell.once.Do(func() {
+		m, err := sm.mods.module(lanes)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cell.val, cell.err = pipesim.CompileConfig(m, sm.cfg.Exec)
+		if cell.err != nil {
+			cell.err = fmt.Errorf("dse: compiling %d-lane variant: %w", lanes, cell.err)
+		}
+	})
+	return cell.val, cell.err
 }
 
 // simBacked is the shared implementation of the sim and hybrid
@@ -289,55 +319,68 @@ func (sv *simBacked) eval(s *Space, v Variant) (*Point, error) {
 }
 
 // measure memoises the simulated per-instance (cycles, items) per lane
-// count.
+// count. Workers never block on each other: a cold lane count is
+// measured by every worker that races it (each on its own pooled
+// Instance of the shared design), the first settled outcome wins, and
+// losers verify they measured the same thing.
 func (sm *simMeasurer) measure(lanes int) (simMeasure, error) {
-	c, _ := sm.arenas.LoadOrStore(lanes, &simArena{})
-	a := c.(*simArena)
-	a.cell.once.Do(func() { a.cell.val, a.cell.err = sm.runMeasurement(lanes) })
-	return a.cell.val, a.cell.err
+	if v, ok := sm.meas.Load(lanes); ok {
+		out := v.(measOutcome)
+		return out.meas, out.err
+	}
+	out := sm.runMeasurement(lanes)
+	if prev, raced := sm.meas.LoadOrStore(lanes, out); raced {
+		stored := prev.(measOutcome)
+		if out.err == nil && stored.err == nil && out.meas != stored.meas {
+			return simMeasure{}, fmt.Errorf(
+				"dse: %d-lane simulation is nondeterministic across workers: measured %d cycles / %d items, another worker stored %d / %d",
+				lanes, out.meas.cycles, out.meas.items, stored.meas.cycles, stored.meas.items)
+		}
+		return stored.meas, stored.err
+	}
+	return out.meas, out.err
 }
 
-// runMeasurement compiles a fresh Runner for the lane count and drives
-// the warm-up + measurement workload through it. The Runner is owned
-// by the single worker that won the arena's once — no compiled
-// program's scratch is ever shared between engine workers.
-func (sm *simMeasurer) runMeasurement(lanes int) (simMeasure, error) {
-	m, err := sm.mods.module(lanes)
+// runMeasurement drives the warm-up + measurement workload through a
+// pooled Instance of the lane count's shared compiled design. The
+// design is immutable, so any number of workers can measure (or
+// otherwise execute) it concurrently.
+func (sm *simMeasurer) runMeasurement(lanes int) measOutcome {
+	fail := func(err error) measOutcome { return measOutcome{err: err} }
+	d, err := sm.design(lanes)
 	if err != nil {
-		return simMeasure{}, err
+		return fail(err)
 	}
-	mem, err := sm.cfg.Inputs(m, sm.cfg.Seed)
+	mem, err := sm.cfg.Inputs(d.Module(), sm.cfg.Seed)
 	if err != nil {
-		return simMeasure{}, fmt.Errorf("dse: generating %d-lane workload: %w", lanes, err)
+		return fail(fmt.Errorf("dse: generating %d-lane workload: %w", lanes, err))
 	}
-	r, err := pipesim.NewRunnerConfig(m, sm.cfg.Exec)
-	if err != nil {
-		return simMeasure{}, fmt.Errorf("dse: compiling %d-lane variant: %w", lanes, err)
-	}
+	inst := d.Acquire()
+	defer d.Release(inst)
 	for i := 0; i < sm.cfg.Warmup; i++ {
-		if _, err := r.Run(mem); err != nil {
-			return simMeasure{}, fmt.Errorf("dse: simulating %d-lane variant (warm-up): %w", lanes, err)
+		if _, err := inst.Run(mem); err != nil {
+			return fail(fmt.Errorf("dse: simulating %d-lane variant (warm-up): %w", lanes, err))
 		}
 	}
 	var first *pipesim.Result
 	for i := 0; i < sm.cfg.Measure; i++ {
-		res, err := r.Run(mem)
+		res, err := inst.Run(mem)
 		if err != nil {
-			return simMeasure{}, fmt.Errorf("dse: simulating %d-lane variant: %w", lanes, err)
+			return fail(fmt.Errorf("dse: simulating %d-lane variant: %w", lanes, err))
 		}
 		if first == nil {
 			first = res
 			continue
 		}
 		if res.Cycles != first.Cycles || res.Items != first.Items {
-			return simMeasure{}, fmt.Errorf(
+			return fail(fmt.Errorf(
 				"dse: %d-lane simulation is nondeterministic: instance 0 ran %d cycles / %d items, instance %d ran %d / %d",
-				lanes, first.Cycles, first.Items, i, res.Cycles, res.Items)
+				lanes, first.Cycles, first.Items, i, res.Cycles, res.Items))
 		}
 	}
 	if first.Cycles <= 0 || first.Items <= 0 {
-		return simMeasure{}, fmt.Errorf("dse: %d-lane variant simulated no work (%d cycles, %d items)",
-			lanes, first.Cycles, first.Items)
+		return fail(fmt.Errorf("dse: %d-lane variant simulated no work (%d cycles, %d items)",
+			lanes, first.Cycles, first.Items))
 	}
-	return simMeasure{cycles: first.Cycles, items: first.Items}, nil
+	return measOutcome{meas: simMeasure{cycles: first.Cycles, items: first.Items}}
 }

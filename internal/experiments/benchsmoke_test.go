@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"flag"
+	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/pipesim"
 )
 
 // -experiments.benchsmoke gates the timing-sensitive smoke below so the
@@ -36,5 +40,50 @@ func TestPipesimBenchSmoke(t *testing.T) {
 		if row.Fusion.Total() == 0 {
 			t.Errorf("%s: no superinstruction fusions applied", row.Kernel)
 		}
+	}
+}
+
+// TestConcurrentThroughputSmoke is the scaling claim of the
+// compile/instance split: goroutines sharing ONE CompiledDesign on
+// pooled instances must deliver strictly more aggregate throughput at
+// -j4 than at -j1. Meaningless on a single-CPU host (there is nothing
+// to scale onto), so it skips there; CI runners have >= 2.
+func TestConcurrentThroughputSmoke(t *testing.T) {
+	if !*benchSmoke {
+		t.Skip("timing smoke; enable with -experiments.benchsmoke")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skipf("GOMAXPROCS=%d: concurrent scaling needs >= 2 CPUs", runtime.GOMAXPROCS(0))
+	}
+	spec := kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 1}
+	m, err := spec.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := kernels.BindInputs(spec.MakeInputs(1), spec.Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pipesim.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(mem); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	run := func() error {
+		_, err := d.Run(mem)
+		return err
+	}
+	j1, err := concurrentThroughput(200*time.Millisecond, 1, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := concurrentThroughput(200*time.Millisecond, 4, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j4 <= j1 {
+		t.Errorf("shared-design throughput did not scale: %.0f ops/s at -j4 vs %.0f ops/s at -j1", j4, j1)
 	}
 }

@@ -34,7 +34,7 @@ type lane [batchN]int64
 // write accumulators keep their negative encodings and read the live
 // accumulator slab per lane.
 func (p *program) buildBatch() {
-	nslots := int32(len(p.regs))
+	nslots := p.nslots
 	remap := func(e int32) int32 {
 		if e < 0 {
 			return nslots + (-1 - e)
@@ -75,35 +75,28 @@ func (p *program) buildBatch() {
 		}
 	}
 	p.bops = bops
-	p.bregs = make([]lane, int(nslots)+len(p.accs))
-	for s, v := range p.regs {
-		if v == 0 {
-			continue // non-constant slots are defined before use
-		}
-		bl := &p.bregs[s]
-		for l := range bl {
-			bl[l] = v
-		}
-	}
+	// The broadcast lanes themselves live in each instance's progState
+	// (constant slots are broadcast by progState.init), keeping the
+	// program immutable and shareable across concurrent instances.
 }
 
 // execBatched runs the program: scalar head up to the interior, full
 // batches through the interior, scalar tail for the ragged remainder
 // and the trailing boundary region.
-func (p *program) execBatched(ins, outs [][]int64, acc []int64) {
-	nslots := len(p.regs)
-	for k, v := range acc {
-		bl := &p.bregs[nslots+k]
+func (p *program) execBatched(st *progState) {
+	nslots := int(p.nslots)
+	for k, v := range st.accVals {
+		bl := &st.bregs[nslots+k]
 		for l := range bl {
 			bl[l] = v
 		}
 	}
-	p.execRange(ins, outs, acc, 0, p.loffLo, true)
+	p.execRange(st, 0, p.loffLo, true)
 	base := p.loffLo
 	for ; base+batchN <= p.loffHi; base += batchN {
-		p.execBatch(ins, outs, acc, base)
+		p.execBatch(st, base)
 	}
-	p.execRange(ins, outs, acc, base, p.items, true)
+	p.execRange(st, base, p.items, true)
 }
 
 // execBatch sweeps the op program once, carrying the batchN work-items
@@ -111,8 +104,9 @@ func (p *program) execBatched(ins, outs [][]int64, acc []int64) {
 // is checked once per op per batch and every inner loop indexes a
 // fixed-size array; the interior invariant (base >= loffLo and
 // base+batchN <= loffHi) guarantees the conversions are in range.
-func (p *program) execBatch(ins, outs [][]int64, acc []int64, base int64) {
-	bregs := p.bregs
+func (p *program) execBatch(st *progState, base int64) {
+	ins, outs, acc := st.inArrs, st.outArrs, st.accVals
+	bregs := st.bregs
 	bops := p.bops
 	for k := range bops {
 		o := &bops[k]
@@ -288,7 +282,7 @@ func (p *program) execBatch(ins, outs [][]int64, acc []int64, base int64) {
 				acc[o.dst] = v
 			} else {
 				for l := 0; l < batchN; l++ {
-					acc[o.dst] = int64(uint64(p.bld(acc, o.a, l)*p.bld(acc, o.b, l)+p.bld(acc, o.c, l)) & m)
+					acc[o.dst] = int64(uint64(bld(bregs, acc, o.a, l)*bld(bregs, acc, o.b, l)+bld(bregs, acc, o.c, l)) & m)
 				}
 			}
 		case uopBinAcc:
@@ -310,7 +304,7 @@ func (p *program) execBatch(ins, outs [][]int64, acc []int64, base int64) {
 				acc[o.dst] = v
 			default:
 				for l := 0; l < batchN; l++ {
-					acc[o.dst] = o.fn2(p.bld(acc, o.a, l), p.bld(acc, o.b, l))
+					acc[o.dst] = o.fn2(bld(bregs, acc, o.a, l), bld(bregs, acc, o.b, l))
 				}
 			}
 		case uopOutU:
@@ -364,9 +358,9 @@ func (p *program) execBatch(ins, outs [][]int64, acc []int64, base int64) {
 // non-negative encodings index the batch register file, negative ones
 // the live accumulator slab (encodings of acc-writing ops are never
 // remapped to broadcast lanes).
-func (p *program) bld(acc []int64, e int32, l int) int64 {
+func bld(bregs []lane, acc []int64, e int32, l int) int64 {
 	if e >= 0 {
-		return p.bregs[e][l]
+		return bregs[e][l]
 	}
 	return acc[-1-e]
 }

@@ -147,7 +147,10 @@ type accInfo struct {
 
 // program is the compiled form of one PE call site: the slot-indexed
 // datapath plus everything runCall used to recompute per invocation
-// (items, fill cycles, port bindings, accumulator set).
+// (items, fill cycles, port bindings, accumulator set). A program is
+// immutable once compileCall returns — all mutable execution state
+// lives in the progState of an Instance (design.go), so one program
+// serves any number of concurrent instances.
 type program struct {
 	fn    *tir.Function
 	ops   []op
@@ -156,6 +159,9 @@ type program struct {
 	binds []bindStep // call-arg declaration order over ins/outs
 	accs  []*accInfo
 	items int64
+	// idx is the program's slot in an Instance's progState slice,
+	// assigned in compilation order by compileTree.
+	idx int
 	// fill is the invocation's non-streaming cycles: burst-aligned
 	// window priming + pipeline depth + handshake + accumulator drain.
 	fill int64
@@ -172,18 +178,48 @@ type program struct {
 	loffLo, loffHi int64
 	// fused counts the superinstruction rewrites fuse.go applied.
 	fused FusionStats
-	// bops/bregs are the batched form (nil when the program is not
-	// batch-safe or batching is disabled); see batch.go.
-	bops  []op
-	bregs []lane
+	// bops is the batched form of the op program (nil when the program
+	// is not batch-safe or batching is disabled); see batch.go.
+	bops []op
+	// nslots is the register-file size a progState allocates; consts
+	// are the write-once constant slots it loads at construction.
+	nslots int32
+	consts []constSlot
+}
 
-	// Reusable scratch. A program belongs to exactly one call site of
-	// one Runner, and parallel lanes are distinct call sites, so the
-	// executor never shares this state across goroutines.
+// progState is the mutable execution scratch of one program inside one
+// Instance: the register file, the accumulator slab, the bound stream
+// arrays, and (for batch-lowered programs) the per-slot batch lanes.
+// Each Instance owns one progState per program, so instances of the
+// same CompiledDesign never share executor state.
+type progState struct {
 	regs    []int64
 	accVals []int64
 	inArrs  [][]int64
 	outArrs [][]int64
+	bregs   []lane
+}
+
+// init allocates the scratch of one program: constants load once, here —
+// their register slots (and broadcast lanes) are never written by the
+// executor. Every other slot is defined before use per work-item.
+func (st *progState) init(p *program) {
+	st.regs = make([]int64, p.nslots)
+	for _, cs := range p.consts {
+		st.regs[cs.slot] = cs.val
+	}
+	st.accVals = make([]int64, len(p.accs))
+	st.inArrs = make([][]int64, len(p.ins))
+	st.outArrs = make([][]int64, len(p.outs))
+	if p.bops != nil {
+		st.bregs = make([]lane, int(p.nslots)+len(p.accs))
+		for _, cs := range p.consts {
+			bl := &st.bregs[cs.slot]
+			for l := range bl {
+				bl[l] = cs.val
+			}
+		}
+	}
 }
 
 // compiler carries the state of one lowering.
@@ -367,15 +403,11 @@ func compileCall(m *tir.Module, call *tir.CallInstr, fn *tir.Function, cfg Confi
 		}
 	}
 
-	// Allocate the reusable arena. Constants load once, here: their
-	// slots are never written by the executor.
-	c.prog.regs = make([]int64, c.nslots)
-	for _, cs := range c.consts {
-		c.prog.regs[cs.slot] = cs.val
-	}
-	c.prog.accVals = make([]int64, len(c.prog.accs))
-	c.prog.inArrs = make([][]int64, len(c.prog.ins))
-	c.prog.outArrs = make([][]int64, len(c.prog.outs))
+	// Record the register-file shape; instances allocate their own
+	// scratch from it (progState.init), the program itself stays
+	// immutable and shareable.
+	c.prog.nslots = c.nslots
+	c.prog.consts = c.consts
 
 	// Executor escalation: peephole fusion, then batch lowering. Both
 	// run after fill/parSafe are final — neither changes accounting.
@@ -748,28 +780,30 @@ func (c *compiler) accSlot(name string) int32 {
 	return i
 }
 
-// exec streams every work-item through the compiled datapath. ins and
-// outs are the bound memory arrays in program order; acc is the
-// accumulator slab in program order. Batch-safe programs run the
-// interior on the batched executor (batch.go); everything else runs the
-// scalar loop in three regions, so the uopLoadOff bounds branch is paid
-// only at the boundaries. Neither path allocates or touches a map.
-func (p *program) exec(ins, outs [][]int64, acc []int64) {
+// exec streams every work-item through the compiled datapath using one
+// instance's scratch: st.inArrs/st.outArrs are the bound memory arrays
+// in program order, st.accVals the accumulator slab. Batch-safe
+// programs run the interior on the batched executor (batch.go);
+// everything else runs the scalar loop in three regions, so the
+// uopLoadOff bounds branch is paid only at the boundaries. Neither path
+// allocates or touches a map.
+func (p *program) exec(st *progState) {
 	if p.bops != nil {
-		p.execBatched(ins, outs, acc)
+		p.execBatched(st)
 		return
 	}
-	p.execRange(ins, outs, acc, 0, p.loffLo, true)
-	p.execRange(ins, outs, acc, p.loffLo, p.loffHi, false)
-	p.execRange(ins, outs, acc, p.loffHi, p.items, true)
+	p.execRange(st, 0, p.loffLo, true)
+	p.execRange(st, p.loffLo, p.loffHi, false)
+	p.execRange(st, p.loffHi, p.items, true)
 }
 
 // execRange is the scalar loop over work-items [i0, i1). checked=false
 // asserts every window load in the range is in bounds (the interior
 // region computeInterior proved), dropping the branch and the zero-fill
 // path from the steady state.
-func (p *program) execRange(ins, outs [][]int64, acc []int64, i0, i1 int64, checked bool) {
-	regs := p.regs
+func (p *program) execRange(st *progState, i0, i1 int64, checked bool) {
+	ins, outs, acc := st.inArrs, st.outArrs, st.accVals
+	regs := st.regs
 	ops := p.ops
 	for i := i0; i < i1; i++ {
 		for k := range ops {

@@ -235,10 +235,10 @@ func TestCrossLaneDependencyRunsSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.SetWorkers(4)
-	parNode := r.tree.Children[0]
+	parNode := r.d.tree.Children[0]
 	var progs []*program
-	for _, call := range r.calls[parNode] {
-		progs = append(progs, r.progs[call])
+	for _, call := range r.d.calls[parNode] {
+		progs = append(progs, r.d.progs[call])
 	}
 	if !lanesShareMemory(progs) {
 		t.Fatal("cross-lane dependency not detected")
@@ -279,10 +279,10 @@ func TestGoldenKernelsCompileParSafe(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name(), err)
 		}
-		if len(r.progs) != spec.LaneCount() {
-			t.Fatalf("%s: %d compiled programs, want %d lanes", spec.Name(), len(r.progs), spec.LaneCount())
+		if len(r.d.progs) != spec.LaneCount() {
+			t.Fatalf("%s: %d compiled programs, want %d lanes", spec.Name(), len(r.d.progs), spec.LaneCount())
 		}
-		for _, p := range r.progs {
+		for _, p := range r.d.progs {
 			if !p.parSafe {
 				t.Errorf("%s: lane program @%s not parallel-safe", spec.Name(), p.fn.Name)
 			}
@@ -330,7 +330,7 @@ func TestCompiledAccReadFallsBackSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.SetWorkers(4)
-	for _, p := range r.progs {
+	for _, p := range r.d.progs {
 		if p.parSafe {
 			t.Error("accumulator-sampling program classified parallel-safe")
 		}

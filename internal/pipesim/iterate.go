@@ -34,26 +34,28 @@ type IterationResult struct {
 // between instances each feedback target input is replaced by the
 // corresponding output of the previous instance.
 //
-// The module is validated and compiled once; every instance reuses the
-// compiled programs (or, under -pipesim.oracle, the interpreter).
+// The module is validated and compiled once (through the bounded
+// design cache, so repeat callers do not even pay that); every instance
+// reuses the compiled programs (or, under -pipesim.oracle, the
+// interpreter).
 func RunIterations(m *tir.Module, mem map[string][]int64, nki int64, fb Feedback) (*IterationResult, error) {
 	if Oracle {
 		return runIterations(m, func(cur map[string][]int64) (*Result, error) {
 			return RunOracle(m, cur)
 		}, mem, nki, fb)
 	}
-	r, err := NewRunner(m)
+	d, err := cachedDesign(m, defaultConfig)
 	if err != nil {
 		return nil, err
 	}
-	return r.RunIterations(mem, nki, fb)
+	return d.RunIterations(mem, nki, fb)
 }
 
 // RunIterations is the Runner-backed iteration driver: the feedback
 // loop pays compilation, validation and scheduling exactly once, which
 // is what makes per-sweep cost approach the pure streaming cycles.
 func (r *Runner) RunIterations(mem map[string][]int64, nki int64, fb Feedback) (*IterationResult, error) {
-	return runIterations(r.m, r.Run, mem, nki, fb)
+	return r.inst.RunIterations(mem, nki, fb)
 }
 
 // runIterations is the executor-agnostic feedback loop, shared by the

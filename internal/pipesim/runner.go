@@ -2,8 +2,6 @@ package pipesim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/tir"
 )
@@ -16,10 +14,10 @@ import (
 // in shipped binaries).
 var Oracle bool
 
-// Config selects the executor escalation level a Runner compiles with.
+// Config selects the executor escalation level a design compiles with.
 // The zero value is the full escalation (fusion + batching), which is
-// what Run, RunIterations and NewRunner use; the Disable knobs exist
-// for differential testing and benchmarking of the fallback paths
+// what Run, RunIterations, Compile and NewRunner use; the Disable knobs
+// exist for differential testing and benchmarking of the fallback paths
 // (-pipesim.scalar and -pipesim.nofuse replay the whole suite on them).
 // Every level is bit-identical by construction — the knobs trade speed,
 // never semantics.
@@ -58,42 +56,35 @@ func ParseExecLevel(s string) (Config, error) {
 // Run executes the design variant on the given memory-object contents.
 // mem must provide an array of exactly the declared size for every
 // memory object that feeds an input stream not produced by another
-// processing element. The map is not mutated; results come back in
-// Result.Mem.
+// processing element. Caller arrays are never written (see
+// Instance.Run); results come back in Result.Mem.
 //
-// Run compiles the module's PEs and executes the compiled programs; the
-// result is bit-identical to the retained interpreter (RunOracle). Loops
-// that execute many instances of the same module should construct a
-// Runner once instead.
+// Run compiles the module through a small bounded design cache
+// (cachedDesign), so a loop that calls Run on the same module pays
+// compilation once, not per call — the result is bit-identical to the
+// retained interpreter (RunOracle) either way. Callers that own the
+// module's lifetime should hold a CompiledDesign (Compile) or a Runner
+// directly.
 func Run(m *tir.Module, mem map[string][]int64) (*Result, error) {
 	if Oracle {
 		return RunOracle(m, mem)
 	}
-	r, err := NewRunner(m)
+	d, err := cachedDesign(m, defaultConfig)
 	if err != nil {
 		return nil, err
 	}
-	return r.Run(mem)
+	return d.Run(mem)
 }
 
-// Runner is a reusable execution arena for one design variant: the
-// module is validated once, its configuration tree is extracted once,
-// and every PE call site is compiled once into a slot-indexed program
-// with pre-allocated register and accumulator scratch. Iteration
-// drivers and simulation-backed DSE loops amortise all of that across
-// Run calls instead of paying it per instance.
-//
-// A Runner is not safe for concurrent use: the compiled programs own
-// their scratch. (Within one Run, independent par lanes do execute
-// concurrently — each lane is a distinct call site with its own
-// program.)
+// Runner is the compatibility wrapper kept for existing call sites: one
+// CompiledDesign plus one dedicated Instance, behaving exactly like the
+// pre-split arena (compile once, reuse the scratch across Run calls,
+// results bit-identical). A Runner is not safe for concurrent use; for
+// concurrent execution share the CompiledDesign (r.Design(), or Compile
+// directly) and give each goroutine its own Instance.
 type Runner struct {
-	m       *tir.Module
-	tree    *tir.ConfigNode
-	cfg     Config
-	progs   map[*tir.CallInstr]*program
-	calls   map[*tir.ConfigNode][]*tir.CallInstr // per-node call sites, resolved once
-	workers int
+	d    *CompiledDesign
+	inst *Instance
 }
 
 // NewRunner validates and compiles the module at the default executor
@@ -105,353 +96,43 @@ func NewRunner(m *tir.Module) (*Runner, error) {
 // NewRunnerConfig validates and compiles the module at an explicit
 // executor escalation level.
 func NewRunnerConfig(m *tir.Module, cfg Config) (*Runner, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	tree, err := m.ConfigTree()
+	d, err := CompileConfig(m, cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{
-		m:       m,
-		tree:    tree,
-		cfg:     cfg,
-		progs:   map[*tir.CallInstr]*program{},
-		calls:   map[*tir.ConfigNode][]*tir.CallInstr{},
-		workers: runtime.GOMAXPROCS(0),
-	}
-	if err := r.compileTree(tree); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return &Runner{d: d, inst: d.NewInstance()}, nil
 }
+
+// Design returns the runner's shareable compiled design: the immutable
+// half, safe to hand to any number of concurrent instances.
+func (r *Runner) Design() *CompiledDesign { return r.d }
 
 // FusionStats sums the superinstruction rewrites applied across every
 // compiled program of the design.
-func (r *Runner) FusionStats() FusionStats {
-	var s FusionStats
-	for _, p := range r.progs {
-		s.add(p.fused)
-	}
-	return s
-}
+func (r *Runner) FusionStats() FusionStats { return r.d.FusionStats() }
 
 // BatchedPrograms reports how many of the compiled programs run on the
-// batched executor; the rest fall back to the scalar loop (self-aliased
-// streams, order-dependent accumulator use, or DisableBatch).
-func (r *Runner) BatchedPrograms() (batched, total int) {
-	for _, p := range r.progs {
-		total++
-		if p.bops != nil {
-			batched++
-		}
-	}
-	return
-}
+// batched executor.
+func (r *Runner) BatchedPrograms() (batched, total int) { return r.d.BatchedPrograms() }
 
 // SetWorkers bounds the goroutine pool used for concurrent par lanes.
 // The default is GOMAXPROCS at construction; n <= 1 forces the
-// sequential lane loop. The result is bit-identical either way — the
-// knob exists for resource control, not semantics.
+// sequential lane loop. The result is bit-identical either way.
+//
+// Deprecated: SetWorkers mutates the runner's instance and is therefore
+// only safe while the Runner is not executing. Pass the bound per
+// execution instead: Instance.RunWith(mem, RunOptions{Workers: n}).
 func (r *Runner) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
-	r.workers = n
+	r.inst.workers = n
 }
 
-// compileTree compiles every PE call site reachable in the
-// configuration tree. Comb children are inlined by their parent's
-// compilation, not compiled as PEs.
-func (r *Runner) compileTree(n *tir.ConfigNode) error {
-	calls := n.Func.Calls()
-	r.calls[n] = calls
-	for i, child := range n.Children {
-		if child.Mode == tir.ModeComb {
-			continue
-		}
-		if child.Mode == tir.ModePipe && len(child.Func.Params) > 0 {
-			p, err := compileCall(r.m, calls[i], child.Func, r.cfg)
-			if err != nil {
-				return err
-			}
-			r.progs[calls[i]] = p
-		}
-		if err := r.compileTree(child); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// runState is the per-Run mutable state: memory-object contents and
-// module-level accumulators.
-type runState struct {
-	mem map[string][]int64
-	acc map[string]int64
-}
-
-// Run executes one kernel-instance. See Run (package level) for the
-// contract; the compiled programs and their scratch are reused across
-// calls, only the memory map and the result are fresh.
+// Run executes one kernel-instance on the runner's dedicated instance.
+// See Instance.Run for the contract; the compiled programs and their
+// scratch are reused across calls, only the memory map and the result
+// are fresh.
 func (r *Runner) Run(mem map[string][]int64) (*Result, error) {
-	st := &runState{mem: map[string][]int64{}, acc: map[string]int64{}}
-	for name, data := range mem {
-		mo := r.m.MemObject(name)
-		if mo == nil {
-			return nil, fmt.Errorf("pipesim: no memory object %q in module", name)
-		}
-		if int64(len(data)) != mo.Size {
-			return nil, fmt.Errorf("pipesim: memory object %q: got %d elements, declared %d",
-				name, len(data), mo.Size)
-		}
-		cp := make([]int64, len(data))
-		copy(cp, data)
-		st.mem[name] = cp
-	}
-	cycles, items, err := r.runNode(st, r.tree)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Mem: st.mem, Acc: st.acc, Cycles: cycles, Items: items}, nil
-}
-
-// runNode mirrors the oracle's configuration-tree walk on compiled
-// programs: sequential nodes sum their children, parallel nodes take
-// the slowest lane, pipe nodes execute their datapath and chain coarse
-// children.
-func (r *Runner) runNode(st *runState, n *tir.ConfigNode) (cycles, items int64, err error) {
-	switch n.Mode {
-	case tir.ModeSeq:
-		var total, all int64
-		for i, c := range n.Children {
-			call := r.calls[n][i]
-			cy, it, err := r.runCall(st, call, c)
-			if err != nil {
-				return 0, 0, err
-			}
-			total += cy
-			all += it
-		}
-		return total, all, nil
-	case tir.ModePar, tir.ModePipe, tir.ModeComb:
-		return r.runCall(st, nil, n)
-	}
-	return 0, 0, fmt.Errorf("pipesim: unsupported root mode %s", n.Mode)
-}
-
-// runCall executes the PE(s) reached through one call site.
-func (r *Runner) runCall(st *runState, call *tir.CallInstr, n *tir.ConfigNode) (cycles, items int64, err error) {
-	switch n.Mode {
-	case tir.ModePar:
-		return r.runPar(st, n)
-
-	case tir.ModePipe:
-		if call == nil {
-			return 0, 0, fmt.Errorf("pipesim: pipe function @%s must be invoked through a call site", n.Func.Name)
-		}
-		var total int64
-		if len(n.Func.Params) > 0 {
-			cy, it, err := r.execPE(st, r.progs[call])
-			if err != nil {
-				return 0, 0, err
-			}
-			total, items = cy, it
-		} else {
-			if len(n.Func.Calls()) == 0 {
-				return 0, 0, fmt.Errorf("pipesim: pipe function @%s has neither streams nor stages", n.Func.Name)
-			}
-			total = ctrlStartup
-		}
-		// Coarse-grained pipeline children: fills add, the in-flight
-		// item stream overlaps.
-		for i, c := range n.Children {
-			if c.Mode == tir.ModeComb {
-				continue // inlined in the parent program
-			}
-			childCall := r.calls[n][i]
-			cy, it, err := r.runCall(st, childCall, c)
-			if err != nil {
-				return 0, 0, err
-			}
-			overlap := it
-			if overlap > items {
-				overlap = items
-			}
-			if overlap > cy {
-				overlap = cy
-			}
-			total += cy - overlap
-			if it > items {
-				items = it
-			}
-		}
-		return total, items, nil
-
-	case tir.ModeComb:
-		return 0, 0, fmt.Errorf("pipesim: comb function @%s cannot be a processing element; inline it in a pipe", n.Func.Name)
-	}
-	return 0, 0, fmt.Errorf("pipesim: unsupported call mode %s", n.Mode)
-}
-
-// bindPE performs the dynamic half of port binding: input contents must
-// exist, output objects are materialised exactly once. Arguments are
-// replayed in call-arg declaration order, exactly like the oracle's
-// bind — an output materialised by an earlier argument is visible to a
-// later input argument of the same call. The resolved arrays land in
-// the program's scratch in stream order.
-func (r *Runner) bindPE(st *runState, p *program) error {
-	for _, step := range p.binds {
-		if step.out {
-			sb := p.outs[step.idx]
-			if _, ok := st.mem[sb.mem]; ok {
-				return fmt.Errorf("pipesim: memory object %%%s written twice", sb.mem)
-			}
-			arr := make([]int64, sb.size)
-			st.mem[sb.mem] = arr
-			p.outArrs[step.idx] = arr
-			continue
-		}
-		sb := p.ins[step.idx]
-		data, ok := st.mem[sb.mem]
-		if !ok {
-			return fmt.Errorf("pipesim: input memory object %%%s has no contents (missing input or producer)", sb.mem)
-		}
-		p.inArrs[step.idx] = data
-	}
-	return nil
-}
-
-// execPE binds and executes one PE invocation against the shared
-// accumulator state.
-func (r *Runner) execPE(st *runState, p *program) (int64, int64, error) {
-	if err := r.bindPE(st, p); err != nil {
-		return 0, 0, err
-	}
-	for i, a := range p.accs {
-		p.accVals[i] = st.acc[a.name]
-	}
-	p.exec(p.inArrs, p.outArrs, p.accVals)
-	for i, a := range p.accs {
-		if a.written {
-			st.acc[a.name] = p.accVals[i]
-		}
-	}
-	return p.fill + p.items + ctrlStartup, p.items, nil
-}
-
-// runPar executes the lanes of a par node. Lanes that are pure PEs with
-// mergeable accumulators run concurrently on a bounded goroutine pool:
-// binding happens up front single-threaded, each lane accumulates into
-// a lane-local partial starting from the opcode's identity, and the
-// partials merge into the shared state in lane order at commit — the
-// bit-exact sequential result, by the commutativity/associativity
-// AccIdentity certifies. Anything else (coarse-pipe lanes, structural
-// lanes, order-dependent accumulator use) falls back to the oracle's
-// sequential lane loop.
-func (r *Runner) runPar(st *runState, n *tir.ConfigNode) (int64, int64, error) {
-	calls := r.calls[n]
-
-	parallel := r.workers > 1 && len(n.Children) > 1
-	progs := make([]*program, len(n.Children))
-	if parallel {
-		for i, c := range n.Children {
-			p := r.progs[calls[i]]
-			if c.Mode != tir.ModePipe || len(c.Func.Params) == 0 || hasPeerChild(c) ||
-				p == nil || !p.parSafe {
-				parallel = false
-				break
-			}
-			progs[i] = p
-		}
-	}
-	if parallel && lanesShareMemory(progs) {
-		// A lane consuming another lane's output is order-dependent:
-		// the oracle runs lanes in sequence, so the consumer sees the
-		// producer's completed stream. Fall back to that order.
-		parallel = false
-	}
-
-	if !parallel {
-		var worst, all int64
-		for i, c := range n.Children {
-			cy, it, err := r.runCall(st, calls[i], c)
-			if err != nil {
-				return 0, 0, err
-			}
-			if cy > worst {
-				worst = cy
-			}
-			all += it
-		}
-		return worst + ctrlStartup, all, nil
-	}
-
-	// Bind all lanes first: memory-map mutation stays single-threaded
-	// and error order stays deterministic.
-	for _, p := range progs {
-		if err := r.bindPE(st, p); err != nil {
-			return 0, 0, err
-		}
-	}
-	sem := make(chan struct{}, r.workers)
-	var wg sync.WaitGroup
-	for _, p := range progs {
-		for k, a := range p.accs {
-			p.accVals[k] = a.identity
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(p *program) {
-			defer wg.Done()
-			p.exec(p.inArrs, p.outArrs, p.accVals)
-			<-sem
-		}(p)
-	}
-	wg.Wait()
-
-	var worst, all int64
-	for _, p := range progs {
-		cy := p.fill + p.items + ctrlStartup
-		if cy > worst {
-			worst = cy
-		}
-		all += p.items
-		for k, a := range p.accs {
-			st.acc[a.name] = a.mergeOp(p.accVals[k], st.acc[a.name])
-		}
-	}
-	return worst + ctrlStartup, all, nil
-}
-
-// hasPeerChild reports whether the node chains coarse-grained peer PEs
-// (anything beyond inlined comb blocks).
-func hasPeerChild(n *tir.ConfigNode) bool {
-	for _, c := range n.Children {
-		if c.Mode != tir.ModeComb {
-			return true
-		}
-	}
-	return false
-}
-
-// lanesShareMemory reports whether any lane's input stream is another
-// lane's output stream — a cross-lane data dependency that must run in
-// lane order. (A lane wired to its own output is fine: the dependency
-// stays inside one goroutine.)
-func lanesShareMemory(progs []*program) bool {
-	outOwner := map[string]int{}
-	for i, p := range progs {
-		for _, sb := range p.outs {
-			outOwner[sb.mem] = i
-		}
-	}
-	for i, p := range progs {
-		for _, sb := range p.ins {
-			if j, ok := outOwner[sb.mem]; ok && j != i {
-				return true
-			}
-		}
-	}
-	return false
+	return r.inst.Run(mem)
 }
