@@ -9,7 +9,7 @@
 //	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
 //	         [-strategy exhaustive|wall-pruned|pareto|hillclimb|anneal] [-budget N] [-seed N]
 //	         [-eval model|sim|hybrid] [-simexec batched|nofuse|scalar] [-j N] [-csv]
-//	         [-devices name,name,...]
+//	         [-devices name,name,...] [-cache DIR]
 //
 // The -strategy flag selects the exploration strategy from the dse
 // strategy registry (the flag help lists exactly what parses):
@@ -40,6 +40,13 @@
 // summary with the shelf-wide best design follows. Target names come
 // from the device registry (device.Names); unknown names list the
 // valid ones.
+//
+// -cache DIR attaches the persistent evaluation store
+// (internal/evalstore): per-target calibrations, model estimates and
+// simulator measurements are written content-addressed into DIR and
+// reused by later runs. A warm run prints byte-identical output to the
+// cold run that populated the cache; a damaged cache entry is silently
+// recomputed and rewritten.
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dse"
+	"repro/internal/evalstore"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/perf"
@@ -81,6 +89,7 @@ type options struct {
 	maxLanes int
 	jobs     int
 	csv      bool
+	store    *evalstore.Store
 }
 
 // simConfig is the simulation-measurement configuration both the
@@ -115,6 +124,8 @@ func run(args []string, out io.Writer) error {
 			strings.Join(pipesim.ExecLevelNames(), " | ")))
 	jobs := fs.Int("j", 0, "parallel evaluation workers (0 = all CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	cacheDir := fs.String("cache", "",
+		"persistent evaluation cache directory: calibrations, estimates and simulator measurements are reused across runs (warm runs print byte-identical output)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,9 +146,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var store *evalstore.Store
+	if *cacheDir != "" {
+		if store, err = evalstore.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
 	opt := options{kernel: *kernel, form: form, mode: mode, strategy: st,
 		search: dse.SearchOptions{Budget: dse.Budget{MaxEvals: *budget}, Seed: *seed},
-		exec:   exec, nki: *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv}
+		exec:   exec, nki: *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv, store: store}
 
 	if *devices != "" {
 		return runDevices(out, opt, strings.Split(*devices, ","))
@@ -157,8 +174,10 @@ func runSingle(out io.Writer, opt options, targetName string) error {
 		return err
 	}
 
+	// The line prints warm and cold alike: warm-cache output must stay
+	// byte-identical to the cold run (the CI smoke byte-diffs them).
 	fmt.Fprintf(out, "calibrating models for %s...\n", target.Name)
-	c, err := core.New(target)
+	c, err := core.NewStore(target, opt.store)
 	if err != nil {
 		return err
 	}
@@ -223,8 +242,8 @@ func runDevices(out io.Writer, opt options, names []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.ExploreDevices(opt.mode, shelf, build, space, perf.Workload{NKI: opt.nki},
-		opt.form, opt.strategy, opt.jobs, opt.simConfig(), opt.search)
+	res, err := core.ExploreDevicesStore(opt.mode, shelf, build, space, perf.Workload{NKI: opt.nki},
+		opt.form, opt.strategy, opt.jobs, opt.simConfig(), opt.search, opt.store)
 	if err != nil {
 		return err
 	}

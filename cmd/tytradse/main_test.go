@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -300,5 +302,71 @@ func TestRunStrategies(t *testing.T) {
 	}
 	if !strings.Contains(pareto.String(), "pareto frontier") {
 		t.Error("pareto output missing the frontier line")
+	}
+}
+
+// TestRunCacheWarmColdIdentical: running twice against the same -cache
+// directory must print byte-identical output — the warm run answers
+// every calibration, estimate and measurement from the store, and none
+// of that may leak into what the user sees. Also covers the cross-device
+// path and a bounded adaptive search (same seed → same trajectory).
+func TestRunCacheWarmColdIdentical(t *testing.T) {
+	cases := map[string][]string{
+		"model":   {"-kernel", "sor", "-maxlanes", "8", "-eval", "model"},
+		"sim":     {"-kernel", "hotspot", "-maxlanes", "4", "-eval", "sim"},
+		"hybrid":  {"-kernel", "hotspot", "-maxlanes", "4", "-eval", "hybrid", "-j", "4"},
+		"devices": {"-kernel", "sor", "-maxlanes", "4", "-devices", "stratix-v-gsd8-edu,virtex-7-690t"},
+		"anneal":  {"-kernel", "sor", "-maxlanes", "8", "-strategy", "anneal", "-budget", "6", "-seed", "7"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			args := append(args, "-cache", dir)
+			var cold, warm strings.Builder
+			if err := run(args, &cold); err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) == 0 {
+				t.Fatal("cold run wrote nothing into the cache directory")
+			}
+			if err := run(args, &warm); err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			if cold.String() != warm.String() {
+				t.Errorf("warm output differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s",
+					cold.String(), warm.String())
+			}
+		})
+	}
+}
+
+// TestRunCacheCorruptionRecovers: a cache directory full of damaged
+// records must not change the output or fail the run.
+func TestRunCacheCorruptionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-kernel", "hotspot", "-maxlanes", "4", "-eval", "hybrid", "-cache", dir}
+	var cold strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no records written (%v)", err)
+	}
+	for _, name := range names {
+		if err := os.WriteFile(name, []byte("ruined"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var recovered strings.Builder
+	if err := run(args, &recovered); err != nil {
+		t.Fatalf("run over corrupt cache: %v", err)
+	}
+	if cold.String() != recovered.String() {
+		t.Error("output changed after cache corruption")
 	}
 }

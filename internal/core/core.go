@@ -20,6 +20,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/device"
 	"repro/internal/dse"
+	"repro/internal/evalstore"
 	"repro/internal/fabric"
 	"repro/internal/hdl"
 	"repro/internal/membw"
@@ -28,11 +29,18 @@ import (
 	"repro/internal/tir"
 )
 
-// Compiler carries the per-target models.
+// Compiler carries the per-target models, and optionally the persistent
+// evaluation store its explorations read and write.
 type Compiler struct {
 	Target *device.Target
 	Model  *costmodel.Model
 	BW     *membw.Model
+	// Store, when non-nil, backs ExploreSpaceMode: model estimates and
+	// simulator measurements are answered from their content-addressed
+	// records when present and archived when recomputed (see
+	// internal/evalstore). NewStore sets it; zero-value construction
+	// leaves explorations purely in-memory.
+	Store *evalstore.Store
 }
 
 // New calibrates the cost model and builds the bandwidth model for the
@@ -50,6 +58,26 @@ func New(target *device.Target) (*Compiler, error) {
 		return nil, fmt.Errorf("core: building bandwidth model: %w", err)
 	}
 	return &Compiler{Target: target, Model: mdl, BW: bw}, nil
+}
+
+// NewStore is New backed by a persistent evaluation store: the
+// calibrated models come from the store's content-addressed record when
+// one exists (Fig 2's one-time benchmark experiments are skipped
+// entirely), are archived after calibration otherwise, and the returned
+// compiler threads the store through ExploreSpaceMode so estimates and
+// simulator measurements persist too. A nil store degrades to New.
+func NewStore(target *device.Target, store *evalstore.Store) (*Compiler, error) {
+	if store == nil {
+		return New(target)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
+	mdl, bw, err := dse.NewModelCacheStore(store).Models(target)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiler{Target: target, Model: mdl, BW: bw, Store: store}, nil
 }
 
 // NewFromCalibration builds a compiler from an archived bandwidth
@@ -177,7 +205,7 @@ func (c *Compiler) ExploreSpace(build dse.VariantBuilder, space *dse.Space, w pe
 func (c *Compiler) ExploreSpaceMode(mode dse.EvalMode, build dse.VariantBuilder,
 	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
 	sim dse.SimConfig, opts dse.SearchOptions) (*dse.Result, error) {
-	eval, err := dse.NewModeEvaluator(mode, c.Model, c.BW, build, w, form, sim)
+	eval, err := dse.NewModeEvaluatorStore(mode, c.Model, c.BW, build, w, form, sim, c.Store)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +226,18 @@ func (c *Compiler) ExploreSpaceMode(mode dse.EvalMode, build dse.VariantBuilder,
 func ExploreDevices(mode dse.EvalMode, shelf []*device.Target, build dse.VariantBuilder,
 	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
 	sim dse.SimConfig, opts dse.SearchOptions) (*dse.Result, error) {
-	eval, err := dse.NewDeviceModeEvaluator(mode, shelf, build, w, form, sim)
+	return ExploreDevicesStore(mode, shelf, build, space, w, form, st, workers, sim, opts, nil)
+}
+
+// ExploreDevicesStore is ExploreDevices backed by a persistent
+// evaluation store: per-device calibrations, model estimates and
+// simulator measurements are all answered from their content-addressed
+// records when present and archived when recomputed. A nil store is the
+// plain in-memory exploration.
+func ExploreDevicesStore(mode dse.EvalMode, shelf []*device.Target, build dse.VariantBuilder,
+	space *dse.Space, w perf.Workload, form perf.Form, st dse.Strategy, workers int,
+	sim dse.SimConfig, opts dse.SearchOptions, store *evalstore.Store) (*dse.Result, error) {
+	eval, err := dse.NewDeviceModeEvaluatorStore(mode, shelf, build, w, form, sim, store)
 	if err != nil {
 		return nil, err
 	}

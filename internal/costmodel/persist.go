@@ -1,0 +1,182 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/tir"
+)
+
+// The calibrated model is one of the artifacts the persistent
+// evaluation store archives per target (Fig 2's "one-time benchmark
+// experiments"). Calibration is deterministic, so the encoding only has
+// to be exact, not canonical: every fitted coefficient must roundtrip
+// bit for bit (encoding/json emits shortest-roundtrip float64s), or a
+// warm-started exploration would price variants differently from the
+// run that wrote the record.
+
+// exprJSON is the tagged wire form of the Expr interface: exactly the
+// three concrete families the calibrator produces.
+type exprJSON struct {
+	Kind   string    `json:"kind"` // "poly" | "pwl" | "const" | "" (nil)
+	Coeffs []float64 `json:"coeffs,omitempty"`
+	Xs     []float64 `json:"xs,omitempty"`
+	Ys     []float64 `json:"ys,omitempty"`
+	Const  float64   `json:"const,omitempty"`
+}
+
+func encodeExpr(e Expr) (exprJSON, error) {
+	switch v := e.(type) {
+	case nil:
+		return exprJSON{}, nil
+	case Polynomial:
+		return exprJSON{Kind: "poly", Coeffs: v.Coeffs}, nil
+	case PiecewiseLinear:
+		return exprJSON{Kind: "pwl", Xs: v.Xs, Ys: v.Ys}, nil
+	case ConstExpr:
+		return exprJSON{Kind: "const", Const: float64(v)}, nil
+	}
+	return exprJSON{}, fmt.Errorf("costmodel: cannot encode expression type %T", e)
+}
+
+func decodeExpr(j exprJSON) (Expr, error) {
+	switch j.Kind {
+	case "":
+		return nil, nil
+	case "poly":
+		return Polynomial{Coeffs: j.Coeffs}, nil
+	case "pwl":
+		if len(j.Xs) != len(j.Ys) {
+			return nil, fmt.Errorf("costmodel: pwl expression with %d xs vs %d ys", len(j.Xs), len(j.Ys))
+		}
+		return PiecewiseLinear{Xs: j.Xs, Ys: j.Ys}, nil
+	case "const":
+		return ConstExpr(j.Const), nil
+	}
+	return nil, fmt.Errorf("costmodel: unknown expression kind %q", j.Kind)
+}
+
+type stepJSON struct {
+	Thresholds []float64 `json:"thresholds,omitempty"`
+	Values     []int     `json:"values,omitempty"`
+}
+
+type opCostJSON struct {
+	ALUT exprJSON `json:"alut"`
+	Reg  exprJSON `json:"reg"`
+	DSP  stepJSON `json:"dsp"`
+}
+
+// modelJSON is the wire form of a calibrated Model, minus the Target
+// pointer (the caller supplies the target on decode; the store's
+// content key covers the full target description).
+type modelJSON struct {
+	Ops             map[string]opCostJSON `json:"ops"`
+	DivFit          exprJSON              `json:"divfit"`
+	StreamCtrlALUTs int                   `json:"stream_ctrl_aluts"`
+	StreamCtrlRegs  int                   `json:"stream_ctrl_regs"`
+	BRAMWindowALUTs int                   `json:"bram_window_aluts"`
+	BRAMWindowRegs  int                   `json:"bram_window_regs"`
+	ParNodeALUTs    int                   `json:"par_node_aluts"`
+	ParNodeRegs     int                   `json:"par_node_regs"`
+	ParCallALUTs    int                   `json:"par_call_aluts"`
+	ParCallRegs     int                   `json:"par_call_regs"`
+	ShimALUTs       int                   `json:"shim_aluts"`
+	ShimRegs        int                   `json:"shim_regs"`
+}
+
+// EncodeModel serialises a calibrated model (without its target, which
+// travels separately) such that DecodeModel reproduces every fitted
+// coefficient bit-exactly.
+func EncodeModel(m *Model) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("costmodel: nil model")
+	}
+	j := modelJSON{
+		Ops:             map[string]opCostJSON{},
+		StreamCtrlALUTs: m.StreamCtrlALUTs,
+		StreamCtrlRegs:  m.StreamCtrlRegs,
+		BRAMWindowALUTs: m.BRAMWindowALUTs,
+		BRAMWindowRegs:  m.BRAMWindowRegs,
+		ParNodeALUTs:    m.ParNodeALUTs,
+		ParNodeRegs:     m.ParNodeRegs,
+		ParCallALUTs:    m.ParCallALUTs,
+		ParCallRegs:     m.ParCallRegs,
+		ShimALUTs:       m.ShimALUTs,
+		ShimRegs:        m.ShimRegs,
+	}
+	var err error
+	if j.DivFit, err = encodeExpr(m.DivFit); err != nil {
+		return nil, err
+	}
+	for op, oc := range m.Ops {
+		var oj opCostJSON
+		if oj.ALUT, err = encodeExpr(oc.ALUT); err != nil {
+			return nil, fmt.Errorf("costmodel: %s ALUT: %w", op, err)
+		}
+		if oj.Reg, err = encodeExpr(oc.Reg); err != nil {
+			return nil, fmt.Errorf("costmodel: %s Reg: %w", op, err)
+		}
+		oj.DSP = stepJSON{Thresholds: oc.DSP.Thresholds, Values: oc.DSP.Values}
+		j.Ops[op.String()] = oj
+	}
+	return json.Marshal(j)
+}
+
+// DecodeModel rebuilds a calibrated model for the given target from
+// EncodeModel output.
+func DecodeModel(t *device.Target, data []byte) (*Model, error) {
+	if t == nil {
+		return nil, fmt.Errorf("costmodel: nil target")
+	}
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("costmodel: decoding model: %w", err)
+	}
+	m := &Model{
+		Target:          t,
+		Ops:             map[tir.Opcode]OpCost{},
+		StreamCtrlALUTs: j.StreamCtrlALUTs,
+		StreamCtrlRegs:  j.StreamCtrlRegs,
+		BRAMWindowALUTs: j.BRAMWindowALUTs,
+		BRAMWindowRegs:  j.BRAMWindowRegs,
+		ParNodeALUTs:    j.ParNodeALUTs,
+		ParNodeRegs:     j.ParNodeRegs,
+		ParCallALUTs:    j.ParCallALUTs,
+		ParCallRegs:     j.ParCallRegs,
+		ShimALUTs:       j.ShimALUTs,
+		ShimRegs:        j.ShimRegs,
+	}
+	div, err := decodeExpr(j.DivFit)
+	if err != nil {
+		return nil, err
+	}
+	if div != nil {
+		poly, ok := div.(Polynomial)
+		if !ok {
+			return nil, fmt.Errorf("costmodel: divider fit is %T, want Polynomial", div)
+		}
+		m.DivFit = poly
+	}
+	for name, oj := range j.Ops {
+		op, ok := tir.ParseOpcode(name)
+		if !ok {
+			return nil, fmt.Errorf("costmodel: unknown opcode %q in encoded model", name)
+		}
+		var oc OpCost
+		if oc.ALUT, err = decodeExpr(oj.ALUT); err != nil {
+			return nil, fmt.Errorf("costmodel: %s ALUT: %w", name, err)
+		}
+		if oc.Reg, err = decodeExpr(oj.Reg); err != nil {
+			return nil, fmt.Errorf("costmodel: %s Reg: %w", name, err)
+		}
+		if len(oj.DSP.Thresholds) != len(oj.DSP.Values) {
+			return nil, fmt.Errorf("costmodel: %s DSP step with %d thresholds vs %d values",
+				name, len(oj.DSP.Thresholds), len(oj.DSP.Values))
+		}
+		oc.DSP = StepFunc{Thresholds: oj.DSP.Thresholds, Values: oj.DSP.Values}
+		m.Ops[op] = oc
+	}
+	return m, nil
+}

@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestModelEncodeDecodeExact: the calibrated model must survive an
+// Encode → Decode roundtrip with every fitted coefficient bit-exact —
+// reflect.DeepEqual on float64 slices is bitwise, so it is the right
+// comparison here.
+func TestModelEncodeDecodeExact(t *testing.T) {
+	tgt := device.GSD8Edu()
+	orig, err := Calibrate(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeModel(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(tgt, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != tgt {
+		t.Error("decoded model not bound to the supplied target")
+	}
+	if !reflect.DeepEqual(got.Ops, orig.Ops) {
+		t.Error("op cost table differs after roundtrip")
+	}
+	if !reflect.DeepEqual(got.DivFit, orig.DivFit) {
+		t.Errorf("divider fit differs: %v vs %v", got.DivFit, orig.DivFit)
+	}
+	structural := func(m *Model) [10]int {
+		return [10]int{m.StreamCtrlALUTs, m.StreamCtrlRegs, m.BRAMWindowALUTs, m.BRAMWindowRegs,
+			m.ParNodeALUTs, m.ParNodeRegs, m.ParCallALUTs, m.ParCallRegs, m.ShimALUTs, m.ShimRegs}
+	}
+	if structural(got) != structural(orig) {
+		t.Error("structural constants differ after roundtrip")
+	}
+}
+
+// TestDecodeModelRejects: malformed encodings must error, never yield a
+// silently wrong model.
+func TestDecodeModelRejects(t *testing.T) {
+	tgt := device.GSD8Edu()
+	cases := map[string]string{
+		"garbage":       "not json",
+		"unknown op":    `{"ops":{"frobnicate":{"alut":{"kind":"const"},"reg":{"kind":"const"},"dsp":{}}}}`,
+		"unknown expr":  `{"ops":{"add":{"alut":{"kind":"spline"},"reg":{"kind":"const"},"dsp":{}}}}`,
+		"ragged pwl":    `{"ops":{"add":{"alut":{"kind":"pwl","xs":[1,2],"ys":[1]},"reg":{"kind":"const"},"dsp":{}}}}`,
+		"ragged step":   `{"ops":{"add":{"alut":{"kind":"const"},"reg":{"kind":"const"},"dsp":{"thresholds":[4],"values":[]}}}}`,
+		"non-poly div":  `{"divfit":{"kind":"pwl","xs":[1,2],"ys":[3,4]}}`,
+		"bad expr kind": `{"divfit":{"kind":"wavelet"}}`,
+	}
+	for name, src := range cases {
+		if _, err := DecodeModel(tgt, []byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := DecodeModel(nil, []byte("{}")); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := EncodeModel(nil); err == nil {
+		t.Error("nil model encoded")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/device"
+	"repro/internal/evalstore"
 	"repro/internal/membw"
 	"repro/internal/perf"
 )
@@ -20,6 +21,11 @@ import (
 // explorations of the same shelf.
 type ModelCache struct {
 	cells sync.Map // device name -> *onceCell[modelPair]
+
+	// store, when non-nil, is the persistent tier: a target's models are
+	// answered from their content-addressed record when present (neither
+	// constructor runs) and archived after construction otherwise.
+	store *evalstore.Store
 
 	// Test seams: the cache-once differential test wraps these with
 	// counters. Nil selects the real constructors.
@@ -42,6 +48,15 @@ type modelPair struct {
 // NewModelCache returns an empty per-device model cache.
 func NewModelCache() *ModelCache { return &ModelCache{} }
 
+// NewModelCacheStore returns a per-device model cache backed by a
+// persistent evaluation store (nil store degrades to NewModelCache).
+func NewModelCacheStore(store *evalstore.Store) *ModelCache {
+	return &ModelCache{store: store}
+}
+
+// Store returns the cache's persistent tier, or nil.
+func (mc *ModelCache) Store() *evalstore.Store { return mc.store }
+
 // Models returns the calibrated cost model and bandwidth model for the
 // target, constructing both exactly once per device id.
 func (mc *ModelCache) Models(t *device.Target) (*costmodel.Model, *membw.Model, error) {
@@ -51,6 +66,16 @@ func (mc *ModelCache) Models(t *device.Target) (*costmodel.Model, *membw.Model, 
 	c, _ := mc.cells.LoadOrStore(t.Name, &onceCell[modelPair]{})
 	cell := c.(*onceCell[modelPair])
 	cell.once.Do(func() {
+		// Persistent tier first: the record key covers the full target
+		// description, so a hit is exactly the pair calibration would
+		// rebuild — and a stale or damaged record is a miss, never an
+		// error.
+		if mc.store != nil {
+			if mdl, bw, ok := evalstore.LoadModels(mc.store, t); ok {
+				cell.val = modelPair{mdl: mdl, bw: bw, desc: *t}
+				return
+			}
+		}
 		calibrate, buildBW := mc.calibrate, mc.buildBW
 		if calibrate == nil {
 			calibrate = costmodel.Calibrate
@@ -71,6 +96,9 @@ func (mc *ModelCache) Models(t *device.Target) (*costmodel.Model, *membw.Model, 
 		}
 		pair.desc = *t
 		cell.val = pair
+		if mc.store != nil {
+			_ = evalstore.SaveModels(mc.store, t, pair.mdl, pair.bw)
+		}
 	})
 	if cell.err != nil {
 		return nil, nil, cell.err
@@ -124,8 +152,19 @@ func NewDeviceModeEvaluator(mode EvalMode, shelf []*device.Target, build Variant
 	return newDeviceEval(mode, shelf, build, w, form, cfg, NewModelCache())
 }
 
+// NewDeviceModeEvaluatorStore is NewDeviceModeEvaluator over a
+// persistent evaluation store: per-device calibrated models, model
+// estimates and simulator measurements are all answered from their
+// content-addressed records when present. A nil store is the plain
+// in-memory evaluator.
+func NewDeviceModeEvaluatorStore(mode EvalMode, shelf []*device.Target, build VariantBuilder,
+	w perf.Workload, form perf.Form, cfg SimConfig, store *evalstore.Store) (Evaluator, error) {
+	return newDeviceEval(mode, shelf, build, w, form, cfg, NewModelCacheStore(store))
+}
+
 // NewDeviceModeEvaluatorCache is NewDeviceModeEvaluator over a
-// caller-owned ModelCache.
+// caller-owned ModelCache; a store-backed cache (NewModelCacheStore)
+// extends its persistent tier to estimates and measurements too.
 func NewDeviceModeEvaluatorCache(mode EvalMode, shelf []*device.Target, build VariantBuilder,
 	w perf.Workload, form perf.Form, cfg SimConfig, cache *ModelCache) (Evaluator, error) {
 	return newDeviceEval(mode, shelf, build, w, form, cfg, cache)
@@ -164,7 +203,7 @@ func newDeviceEval(mode EvalMode, shelf []*device.Target, build VariantBuilder,
 		evals: make([]onceCell[*modelEval], len(shelf)),
 	}
 	if mode != EvalModel {
-		de.sm = newSimMeasurer(de.mods, cfg)
+		de.sm = newSimMeasurer(de.mods, cfg, cache.store)
 	}
 	return de.eval, nil
 }
@@ -181,7 +220,7 @@ func (de *deviceEval) modelEvalFor(idx int) (*modelEval, error) {
 			cell.err = err
 			return
 		}
-		cell.val = newModelEvalShared(mdl, bw, de.mods, de.w, de.form)
+		cell.val = newModelEvalShared(mdl, bw, de.mods, de.w, de.form, de.cache.store)
 	})
 	return cell.val, cell.err
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/costmodel"
+	"repro/internal/evalstore"
 	"repro/internal/membw"
 	"repro/internal/perf"
 	"repro/internal/tir"
@@ -32,6 +33,7 @@ type onceCell[T any] struct {
 type moduleCache struct {
 	build  VariantBuilder
 	builds sync.Map // lanes int -> *onceCell[*tir.Module]
+	irs    sync.Map // lanes int -> *onceCell[string]
 }
 
 func newModuleCache(build VariantBuilder) *moduleCache {
@@ -51,6 +53,24 @@ func (mc *moduleCache) module(lanes int) (*tir.Module, error) {
 	return cell.val, cell.err
 }
 
+// moduleIR returns the canonical IR text of a lane count's module —
+// the kernel-IR half of every evalstore content key — rendered once
+// per lane count (Module.String is linear in the design size, so the
+// persistent-cache paths must not pay it per point).
+func (mc *moduleCache) moduleIR(lanes int) (string, error) {
+	c, _ := mc.irs.LoadOrStore(lanes, &onceCell[string]{})
+	cell := c.(*onceCell[string])
+	cell.once.Do(func() {
+		m, err := mc.module(lanes)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cell.val = m.String()
+	})
+	return cell.val, cell.err
+}
+
 // modelEval is the memoised core of the cost-model evaluator: module
 // builds per lane count and estimates per (lanes, dv), shared between
 // the standard evaluator and the simulation-backed evaluators (which
@@ -63,20 +83,29 @@ type modelEval struct {
 	w    perf.Workload
 	form perf.Form
 
+	// store is the optional persistent tier: estimates are read through
+	// it (content-keyed by kernel IR, dv and target) and written back on
+	// recompute. nil keeps the evaluator purely in-memory.
+	store *evalstore.Store
+	// estimateFn is a test seam wrapping mdl.EstimateVectorised; the
+	// warm==cold differential tests count recomputations through it.
+	// nil selects the real estimator.
+	estimateFn func(m *tir.Module, dv int) (*costmodel.Estimate, error)
+
 	ests sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
 }
 
 func newModelEval(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
-	w perf.Workload, form perf.Form) *modelEval {
-	return newModelEvalShared(mdl, bw, newModuleCache(build), w, form)
+	w perf.Workload, form perf.Form, store *evalstore.Store) *modelEval {
+	return newModelEvalShared(mdl, bw, newModuleCache(build), w, form, store)
 }
 
 // newModelEvalShared wires a modelEval to an externally shared module
 // cache (the per-device evaluators build one modelEval per shelf entry
 // over a single cache).
 func newModelEvalShared(mdl *costmodel.Model, bw *membw.Model, mods *moduleCache,
-	w perf.Workload, form perf.Form) *modelEval {
-	return &modelEval{mdl: mdl, bw: bw, mods: mods, w: w, form: form}
+	w perf.Workload, form perf.Form, store *evalstore.Store) *modelEval {
+	return &modelEval{mdl: mdl, bw: bw, mods: mods, w: w, form: form, store: store}
 }
 
 // module builds the lanes-axis variant once per lane count.
@@ -84,7 +113,11 @@ func (me *modelEval) module(lanes int) (*tir.Module, error) {
 	return me.mods.module(lanes)
 }
 
-// estimate costs the (lanes, dv) variant once.
+// estimate costs the (lanes, dv) variant once per process — and, with
+// a backing store, once per store lifetime: a warm run rehydrates the
+// estimate from its content-addressed record without re-running the
+// cost model (a corrupt or version-skewed record degrades to
+// recompute-and-rewrite).
 func (me *modelEval) estimate(lanes, dv int) (*costmodel.Estimate, error) {
 	c, _ := me.ests.LoadOrStore([2]int{lanes, dv}, &onceCell[*costmodel.Estimate]{})
 	cell := c.(*onceCell[*costmodel.Estimate])
@@ -94,13 +127,36 @@ func (me *modelEval) estimate(lanes, dv int) (*costmodel.Estimate, error) {
 			cell.err = err
 			return
 		}
-		cell.val, cell.err = me.mdl.EstimateVectorised(m, dv)
+		var key string
+		if me.store != nil {
+			ir, err := me.mods.moduleIR(lanes)
+			if err != nil {
+				cell.err = err
+				return
+			}
+			key = evalstore.EstimateKey(ir, dv, me.mdl.Target)
+			if est, ok := evalstore.LoadEstimate(me.store, key, m, me.mdl.Target); ok {
+				cell.val = est
+				return
+			}
+		}
+		estimate := me.estimateFn
+		if estimate == nil {
+			estimate = me.mdl.EstimateVectorised
+		}
+		cell.val, cell.err = estimate(m, dv)
 		if cell.err != nil {
 			if dv == 1 {
 				cell.err = fmt.Errorf("dse: costing %d-lane variant: %w", lanes, cell.err)
 			} else {
 				cell.err = fmt.Errorf("dse: costing %d-lane dv=%d variant: %w", lanes, dv, cell.err)
 			}
+			return
+		}
+		if me.store != nil {
+			// Best-effort write-back: a read-only or full cache directory
+			// must not fail the exploration, it just stays cold.
+			_ = evalstore.SaveEstimate(me.store, key, cell.val)
 		}
 	})
 	return cell.val, cell.err
@@ -153,7 +209,16 @@ func fclkOverride(s *Space, v Variant) (float64, error) {
 // — form and fclk axes re-price throughput from the same estimate.
 func NewEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	w perf.Workload, form perf.Form) Evaluator {
-	me := newModelEval(mdl, bw, build, w, form)
+	return NewEvaluatorStore(mdl, bw, build, w, form, nil)
+}
+
+// NewEvaluatorStore is NewEvaluator with an optional persistent
+// evaluation store: estimates are answered from their content-addressed
+// records when present and written back when recomputed. A nil store is
+// the plain in-memory evaluator.
+func NewEvaluatorStore(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	w perf.Workload, form perf.Form, store *evalstore.Store) Evaluator {
+	me := newModelEval(mdl, bw, build, w, form, store)
 	return func(s *Space, v Variant) (*Point, error) {
 		if err := s.checkAxes("the standard evaluator",
 			AxisLanes, AxisDV, AxisForm, AxisFclk); err != nil {

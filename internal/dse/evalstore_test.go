@@ -1,0 +1,334 @@
+package dse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/device"
+	"repro/internal/evalstore"
+	"repro/internal/membw"
+	"repro/internal/perf"
+	"repro/internal/tir"
+)
+
+// counters tallies the expensive recomputations a warm-cache run must
+// never perform.
+type counters struct {
+	estimates atomic.Int64 // costmodel.EstimateVectorised calls
+	inputs    atomic.Int64 // sim workload generations (one per measurement)
+}
+
+// instrumentedEval builds a mode evaluator over the store with every
+// compute path counted. It wires the same internals the public
+// constructors wire — modelEval + simMeasurer — so the differential
+// holds for the production assembly, not a test double.
+func instrumentedEval(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
+	store *evalstore.Store, c *counters) Evaluator {
+	me := newModelEval(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB, store)
+	me.estimateFn = func(m *tir.Module, dv int) (*costmodel.Estimate, error) {
+		c.estimates.Add(1)
+		return mdl.EstimateVectorised(m, dv)
+	}
+	if mode == EvalModel {
+		return func(s *Space, v Variant) (*Point, error) { return me.point(s, v) }
+	}
+	cfg := SimConfig{Inputs: func(m *tir.Module, seed int64) (map[string][]int64, error) {
+		c.inputs.Add(1)
+		return SimInputs(m, seed)
+	}}
+	sm := newSimMeasurer(me.mods, cfg, store)
+	// The counting wrapper IS SimInputs, so the content key stays valid;
+	// undo the custom-generator bypass the wrapper triggered.
+	sm.customInputs = false
+	sv := &simBacked{mode: mode, me: me, sm: sm}
+	return sv.eval
+}
+
+func runInstrumented(t *testing.T, mode EvalMode, store *evalstore.Store,
+	workers int) (*Result, *counters) {
+	t.Helper()
+	mdl, bw := fixtures(t)
+	var c counters
+	// Small lane axis: sim-mode cold runs measure every lane count (and
+	// racing workers measure some more than once) — 8+ lanes would make
+	// the -race CI leg crawl without adding coverage.
+	space, err := NewSpace(LanesAxis([]int{1, 2, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(space, instrumentedEval(mode, mdl, bw, store, &c), workers).Run(Exhaustive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, &c
+}
+
+// sameResult compares two exploration results point-identically,
+// including the simulation fields samePoint does not cover.
+func samePointsResult(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%s: %d points vs %d", ctx, len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		g, w := *got.Points[i], *want.Points[i]
+		samePoint(t, fmt.Sprintf("%s[%d]", ctx, i), g, w, true)
+		if g.SimCycles != w.SimCycles || g.SimItems != w.SimItems ||
+			g.SimEKIT != w.SimEKIT || g.ModelEKIT != w.ModelEKIT {
+			t.Errorf("%s[%d]: sim fields (%d,%d,%g,%g) != (%d,%d,%g,%g)", ctx, i,
+				g.SimCycles, g.SimItems, g.SimEKIT, g.ModelEKIT,
+				w.SimCycles, w.SimItems, w.SimEKIT, w.ModelEKIT)
+		}
+		if g.Device != w.Device {
+			t.Errorf("%s[%d]: device %q != %q", ctx, i, g.Device, w.Device)
+		}
+	}
+}
+
+// TestWarmColdIdentical is the tentpole differential: a warm-cache
+// exploration must produce points identical to the cold run that
+// populated the cache, in every mode and at any worker count, while
+// recomputing nothing — zero cost-model estimates and zero simulator
+// measurements. (Variant modules are still built on warm runs: the
+// content keys are derived from their printed IR.)
+func TestWarmColdIdentical(t *testing.T) {
+	for _, mode := range []EvalMode{EvalModel, EvalSim, EvalHybrid} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s-j%d", mode, workers), func(t *testing.T) {
+				dir := t.TempDir()
+				cold, err := evalstore.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				coldRes, coldC := runInstrumented(t, mode, cold, workers)
+				if coldC.estimates.Load() == 0 {
+					t.Fatal("cold run computed no estimates")
+				}
+				if mode != EvalModel && coldC.inputs.Load() == 0 {
+					t.Fatal("cold run measured nothing")
+				}
+
+				// Reopen: a fresh store over the same directory, so every
+				// warm answer comes off disk, not the write-through memory.
+				warm, err := evalstore.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warmRes, warmC := runInstrumented(t, mode, warm, workers)
+				if n := warmC.estimates.Load(); n != 0 {
+					t.Errorf("warm run recomputed %d estimates", n)
+				}
+				if n := warmC.inputs.Load(); n != 0 {
+					t.Errorf("warm run re-measured %d times", n)
+				}
+				samePointsResult(t, "warm", warmRes, coldRes)
+			})
+		}
+	}
+}
+
+// corruptAll damages every record file in the cache directory.
+func corruptAll(t *testing.T, dir string, f func([]byte) []byte) int {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, f(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(names)
+}
+
+// TestCorruptCacheRecomputesIdentically: damaging every record must
+// degrade the warm run to a full recompute — same counts as cold, same
+// points, no errors — and the recompute must rewrite the records so the
+// next run is warm again.
+func TestCorruptCacheRecomputesIdentically(t *testing.T) {
+	damage := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/3] },
+		"bitflip":   func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b },
+		"emptied":   func([]byte) []byte { return nil },
+	}
+	for name, f := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			cold, err := evalstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldRes, coldC := runInstrumented(t, EvalHybrid, cold, 4)
+			if n := corruptAll(t, dir, f); n == 0 {
+				t.Fatal("cold run wrote no records")
+			}
+
+			s2, err := evalstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, c2 := runInstrumented(t, EvalHybrid, s2, 4)
+			if c2.estimates.Load() != coldC.estimates.Load() {
+				t.Errorf("corrupt cache: %d estimates recomputed, cold run needed %d",
+					c2.estimates.Load(), coldC.estimates.Load())
+			}
+			if c2.inputs.Load() != coldC.inputs.Load() {
+				t.Errorf("corrupt cache: %d measurements, cold run needed %d",
+					c2.inputs.Load(), coldC.inputs.Load())
+			}
+			samePointsResult(t, "recomputed", res2, coldRes)
+
+			// The recompute must have rewritten the records: a third run
+			// is fully warm.
+			s3, err := evalstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res3, c3 := runInstrumented(t, EvalHybrid, s3, 4)
+			if c3.estimates.Load() != 0 || c3.inputs.Load() != 0 {
+				t.Errorf("post-rewrite run recomputed (%d estimates, %d measurements)",
+					c3.estimates.Load(), c3.inputs.Load())
+			}
+			samePointsResult(t, "rewritten", res3, coldRes)
+		})
+	}
+}
+
+// TestModelCacheStoreWarmSkipsCalibration: with a store attached, a
+// fresh ModelCache answers Models() from the archived record — zero
+// calibrations, zero bandwidth builds — and the rebuilt models price
+// identically (checked structurally here; point-identity is covered by
+// TestDeviceStoreWarmCold).
+func TestModelCacheStoreWarmSkipsCalibration(t *testing.T) {
+	tgt, err := device.Lookup("stratix-v-gsd8-edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	models := func(s *evalstore.Store) (*costmodel.Model, *membw.Model, int64, int64) {
+		cache := NewModelCacheStore(s)
+		var cal, bld atomic.Int64
+		cache.calibrate = func(tg *device.Target) (*costmodel.Model, error) {
+			cal.Add(1)
+			return costmodel.Calibrate(tg)
+		}
+		cache.buildBW = func(tg *device.Target) (*membw.Model, error) {
+			bld.Add(1)
+			return membw.Build(tg)
+		}
+		mdl, bw, err := cache.Models(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mdl, bw, cal.Load(), bld.Load()
+	}
+
+	s1, err := evalstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldMdl, coldBW, cal, bld := models(s1)
+	if cal != 1 || bld != 1 {
+		t.Fatalf("cold Models: %d calibrations, %d builds; want 1, 1", cal, bld)
+	}
+
+	s2, err := evalstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmMdl, warmBW, cal, bld := models(s2)
+	if cal != 0 || bld != 0 {
+		t.Errorf("warm Models: %d calibrations, %d builds; want 0, 0", cal, bld)
+	}
+	if len(warmMdl.Ops) != len(coldMdl.Ops) || len(warmBW.Table) != len(coldBW.Table) {
+		t.Errorf("warm models differ structurally from cold")
+	}
+}
+
+// TestDeviceStoreWarmCold extends the differential across the device
+// shelf: per-device calibrations are zero on the warm run and every
+// point (including its device label) is identical.
+func TestDeviceStoreWarmCold(t *testing.T) {
+	shelf := testShelf(t)
+	dir := t.TempDir()
+	run := func(s *evalstore.Store) (*Result, int64) {
+		cache := NewModelCacheStore(s)
+		var cal atomic.Int64
+		cache.calibrate = func(tg *device.Target) (*costmodel.Model, error) {
+			cal.Add(1)
+			return costmodel.Calibrate(tg)
+		}
+		res, err := deviceEngine(t, EvalModel, shelf, 4, sorBuilder, cache).Run(Exhaustive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cal.Load()
+	}
+
+	s1, err := evalstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, cal := run(s1)
+	if cal != int64(len(shelf)) {
+		t.Fatalf("cold run calibrated %d devices, want %d", cal, len(shelf))
+	}
+
+	s2, err := evalstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, cal := run(s2)
+	if cal != 0 {
+		t.Errorf("warm run calibrated %d devices, want 0", cal)
+	}
+	samePointsResult(t, "device-warm", warmRes, coldRes)
+}
+
+// TestCustomInputsBypassStore: a caller-supplied workload generator
+// cannot be content-hashed, so the persistent tier must not serve (or
+// archive) measurements for it.
+func TestCustomInputsBypassStore(t *testing.T) {
+	mdl, bw := fixtures(t)
+	dir := t.TempDir()
+	run := func() int64 {
+		s, err := evalstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n atomic.Int64
+		me := newModelEval(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB, s)
+		cfg := SimConfig{Inputs: func(m *tir.Module, seed int64) (map[string][]int64, error) {
+			n.Add(1)
+			return SimInputs(m, seed)
+		}}
+		sm := newSimMeasurer(me.mods, cfg, s)
+		if _, err := sm.measure(2); err != nil {
+			t.Fatal(err)
+		}
+		return n.Load()
+	}
+	if got := run(); got != 1 {
+		t.Fatalf("first run: %d measurements, want 1", got)
+	}
+	// Second process lifetime: still measured, never served from disk.
+	if got := run(); got != 1 {
+		t.Errorf("second run: %d measurements, want 1 (custom inputs must bypass the store)", got)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "simcycles-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("custom-input measurements were archived: %v", names)
+	}
+}

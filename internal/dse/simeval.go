@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/costmodel"
+	"repro/internal/evalstore"
 	"repro/internal/kernels"
 	"repro/internal/membw"
 	"repro/internal/perf"
@@ -186,10 +187,34 @@ type simMeasurer struct {
 	cfg     SimConfig
 	designs sync.Map // lanes int -> *onceCell[*pipesim.CompiledDesign]
 	meas    sync.Map // lanes int -> measOutcome
+
+	// store, when non-nil, persists measurements content-addressed by
+	// (kernel IR, measurement workload): a warm run answers measure()
+	// without compiling a design or generating inputs. customInputs
+	// records that the caller supplied its own workload generator —
+	// a function cannot be content-hashed, so the persistent tier is
+	// bypassed (the in-memory memo above still applies).
+	store        *evalstore.Store
+	customInputs bool
 }
 
-func newSimMeasurer(mods *moduleCache, cfg SimConfig) *simMeasurer {
-	return &simMeasurer{mods: mods, cfg: cfg.withDefaults()}
+func newSimMeasurer(mods *moduleCache, cfg SimConfig, store *evalstore.Store) *simMeasurer {
+	return &simMeasurer{
+		mods:         mods,
+		cfg:          cfg.withDefaults(),
+		store:        store,
+		customInputs: cfg.Inputs != nil,
+	}
+}
+
+// workloadDesc canonically describes the measurement workload for the
+// cycles content key. The executor level is deliberately absent: the
+// executors are pinned bit-exact against each other (Exec is a speed
+// knob, not a result knob), so a scalar-level measurement may answer a
+// batched-level query. Warmup is absent for the same reason — the
+// simulator is deterministic, warm-up cannot change the measurement.
+func (sm *simMeasurer) workloadDesc() string {
+	return fmt.Sprintf("seed=%d measure=%d", sm.cfg.Seed, sm.cfg.Measure)
 }
 
 // design returns the shared compiled design of a lane count, compiling
@@ -231,7 +256,7 @@ type simBacked struct {
 // behave exactly as under the standard evaluator.
 func NewSimEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
-	return newSimBacked(EvalSim, mdl, bw, build, w, form, cfg)
+	return newSimBacked(EvalSim, mdl, bw, build, w, form, cfg, nil)
 }
 
 // NewHybridEvaluator returns the cross-checking evaluator: points are
@@ -240,26 +265,38 @@ func NewSimEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder
 // (SimCycles/SimItems/SimEKIT) for the report.Calibration table.
 func NewHybridEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
-	return newSimBacked(EvalHybrid, mdl, bw, build, w, form, cfg)
+	return newSimBacked(EvalHybrid, mdl, bw, build, w, form, cfg, nil)
 }
 
 // NewModeEvaluator dispatches on an EvalMode (the -eval flag of
 // cmd/tytradse).
 func NewModeEvaluator(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig) (Evaluator, error) {
+	return NewModeEvaluatorStore(mode, mdl, bw, build, w, form, cfg, nil)
+}
+
+// NewModeEvaluatorStore is NewModeEvaluator with an optional persistent
+// evaluation store backing both halves: model estimates and simulator
+// measurements are answered from their content-addressed records when
+// present and written back when recomputed. A nil store is the plain
+// in-memory evaluator.
+func NewModeEvaluatorStore(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
+	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig,
+	store *evalstore.Store) (Evaluator, error) {
 	switch mode {
 	case EvalModel:
-		return NewEvaluator(mdl, bw, build, w, form), nil
+		return NewEvaluatorStore(mdl, bw, build, w, form, store), nil
 	case EvalSim, EvalHybrid:
-		return newSimBacked(mode, mdl, bw, build, w, form, cfg), nil
+		return newSimBacked(mode, mdl, bw, build, w, form, cfg, store), nil
 	}
 	return nil, fmt.Errorf("dse: unknown evaluation mode %d", int(mode))
 }
 
 func newSimBacked(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
-	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig) Evaluator {
-	me := newModelEval(mdl, bw, build, w, form)
-	sv := &simBacked{mode: mode, me: me, sm: newSimMeasurer(me.mods, cfg)}
+	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig,
+	store *evalstore.Store) Evaluator {
+	me := newModelEval(mdl, bw, build, w, form, store)
+	sv := &simBacked{mode: mode, me: me, sm: newSimMeasurer(me.mods, cfg, store)}
 	return sv.eval
 }
 
@@ -341,12 +378,36 @@ func (sm *simMeasurer) measure(lanes int) (simMeasure, error) {
 	return out.meas, out.err
 }
 
+// cyclesKey returns the persistent content address of a lane count's
+// measurement, or ok=false when the persistent tier does not apply
+// (no store, un-hashable custom workload, or the module itself failed
+// to build — the compute path will surface that error).
+func (sm *simMeasurer) cyclesKey(lanes int) (string, bool) {
+	if sm.store == nil || sm.customInputs {
+		return "", false
+	}
+	ir, err := sm.mods.moduleIR(lanes)
+	if err != nil {
+		return "", false
+	}
+	return evalstore.CyclesKey(ir, sm.workloadDesc()), true
+}
+
 // runMeasurement drives the warm-up + measurement workload through a
 // pooled Instance of the lane count's shared compiled design. The
 // design is immutable, so any number of workers can measure (or
-// otherwise execute) it concurrently.
+// otherwise execute) it concurrently. With a persistent store attached
+// an archived measurement short-circuits the whole path — no design is
+// compiled and no workload generated — and a fresh measurement is
+// written back best-effort.
 func (sm *simMeasurer) runMeasurement(lanes int) measOutcome {
 	fail := func(err error) measOutcome { return measOutcome{err: err} }
+	key, persist := sm.cyclesKey(lanes)
+	if persist {
+		if cycles, items, ok := evalstore.LoadCycles(sm.store, key); ok {
+			return measOutcome{meas: simMeasure{cycles: cycles, items: items}}
+		}
+	}
 	d, err := sm.design(lanes)
 	if err != nil {
 		return fail(err)
@@ -381,6 +442,9 @@ func (sm *simMeasurer) runMeasurement(lanes int) measOutcome {
 	if first.Cycles <= 0 || first.Items <= 0 {
 		return fail(fmt.Errorf("dse: %d-lane variant simulated no work (%d cycles, %d items)",
 			lanes, first.Cycles, first.Items))
+	}
+	if persist {
+		_ = evalstore.SaveCycles(sm.store, key, first.Cycles, first.Items)
 	}
 	return measOutcome{meas: simMeasure{cycles: first.Cycles, items: first.Items}}
 }

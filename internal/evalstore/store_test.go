@@ -1,0 +1,234 @@
+package evalstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") accepted")
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t)
+	key := Key("models", 1, "some-target")
+	payload := []byte(`{"answer":42}`)
+	if _, ok := s.Get("models", key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("models", key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("models", key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+
+	// A second store over the same directory (fresh memory tier) must
+	// serve the record from disk.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get("models", key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk Get = %q, %v; want %q, true", got, ok, payload)
+	}
+
+	// Kind partitions the namespace even for an identical key string.
+	if _, ok := s2.Get("estimate", key); ok {
+		t.Error("record served for the wrong kind")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s := mustOpen(t)
+	key := Key("k", 1, "x")
+	for _, payload := range []string{`{"v":1}`, `{"v":2}`} {
+		if err := s.Put("k", key, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Get("k", key)
+		if !ok || string(got) != payload {
+			t.Fatalf("Get = %q, %v; want %q", got, ok, payload)
+		}
+	}
+}
+
+// TestFingerprintLengthPrefixed: the part encoding must not let two
+// different splits of the same bytes collide, and keys must cover kind
+// and version.
+func TestFingerprintLengthPrefixed(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("part splits collide")
+	}
+	if Fingerprint("ab") == Fingerprint("ab", "") {
+		t.Error("trailing empty part collides")
+	}
+	if Key("k", 1, "p") == Key("k", 2, "p") {
+		t.Error("schema version not part of the key")
+	}
+	if Key("k1", 1, "p") == Key("k2", 1, "p") {
+		t.Error("kind not part of the key")
+	}
+	if Key("k", 1, "p") != Key("k", 1, "p") {
+		t.Error("key not deterministic")
+	}
+}
+
+// storeFile returns the single record file a one-Put store wrote.
+func storeFile(t *testing.T, s *Store) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(s.Dir(), "*.json"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("want exactly one record file, got %v (err %v)", names, err)
+	}
+	return names[0]
+}
+
+// TestGetDegradesOnDamage: every flavour of on-disk damage must be a
+// miss — never an error, never a panic, and never a wrong payload.
+func TestGetDegradesOnDamage(t *testing.T) {
+	key := Key("k", 1, "p")
+	payload := []byte(`{"v":"sentinel-value"}`)
+	write := func(t *testing.T) (*Store, string) {
+		s := mustOpen(t)
+		if err := s.Put("k", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		return s, storeFile(t, s)
+	}
+	damage := map[string]func(orig []byte) []byte{
+		"truncated":     func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":         func([]byte) []byte { return nil },
+		"garbage":       func([]byte) []byte { return []byte("not json at all") },
+		"wrong magic":   func(b []byte) []byte { return bytes.Replace(b, []byte(magic), []byte("other-store-123"), 1) },
+		"flipped value": func(b []byte) []byte { return bytes.Replace(b, []byte("sentinel-value"), []byte("sentinel-vAlue"), 1) },
+		"null payload":  func(b []byte) []byte { return bytes.Replace(b, payload, []byte("null"), 1) },
+	}
+	for name, f := range damage {
+		t.Run(name, func(t *testing.T) {
+			s, path := write(t)
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, f(orig), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh store: the memory tier must not mask the damage.
+			s2, err := Open(s.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s2.Get("k", key); ok {
+				t.Fatalf("damaged record served: %q", got)
+			}
+			// Recompute-and-rewrite restores service.
+			if err := s2.Put("k", key, payload); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := s2.Get("k", key)
+			if !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("rewrite not served: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestGetRejectsForeignRecord: a valid record renamed onto another key's
+// path (or queried under the wrong kind) must miss via the envelope
+// echo, not serve the wrong content.
+func TestGetRejectsForeignRecord(t *testing.T) {
+	s := mustOpen(t)
+	keyA, keyB := Key("k", 1, "a"), Key("k", 1, "b")
+	if err := s.Put("k", keyA, []byte(`{"who":"a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path("k", keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("k", keyB), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("k", keyB); ok {
+		t.Fatalf("foreign record served: %q", got)
+	}
+}
+
+// TestGetByteFlipSweep: flip every byte of a record file in turn; each
+// Get must either miss or return the exact original payload, without
+// panicking. This is the bit-rot contract in one loop.
+func TestGetByteFlipSweep(t *testing.T) {
+	key := Key("k", 1, "p")
+	payload := []byte(`{"v":[1,2,3],"s":"abc"}`)
+	s := mustOpen(t)
+	if err := s.Put("k", key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := storeFile(t, s)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x20
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(s.Dir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s2.Get("k", key); ok && !bytes.Equal(got, payload) {
+			t.Fatalf("byte %d flipped: served altered payload %q", i, got)
+		}
+	}
+}
+
+// TestStoreConcurrent: racing writers and readers on overlapping keys
+// must stay coherent (run under -race in CI).
+func TestStoreConcurrent(t *testing.T) {
+	s := mustOpen(t)
+	payload := []byte(`{"v":1}`)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := Key("k", 1, strings.Repeat("x", i%5))
+				if err := s.Put("k", key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get("k", key); !ok || !bytes.Equal(got, payload) {
+					t.Errorf("goroutine %d: Get = %q, %v", g, got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -22,13 +23,21 @@ import (
 //
 //	tytra-membw 1 <target-name>
 //	<dim> <pattern> <bytes> <seconds> <steady-seconds>
+//
+// Seconds are emitted as shortest-roundtrip floats: a Save → Load cycle
+// reproduces every float64 bit-exactly, which the persistent evalstore
+// depends on for its warm-run == cold-run determinism gate. (Earlier
+// versions wrote %.12e, which silently dropped low-order bits; LoadModel
+// still reads such files — they simply carry less precision.)
 func (m *Model) SaveTable(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "tytra-membw 1 %s\n", m.Target.Name); err != nil {
 		return err
 	}
 	for _, s := range m.Table {
-		if _, err := fmt.Fprintf(w, "%d %s %d %.12e %.12e\n",
-			s.Dim, s.Pattern, s.Bytes, s.Seconds, s.SteadySeconds); err != nil {
+		if _, err := fmt.Fprintf(w, "%d %s %d %s %s\n",
+			s.Dim, s.Pattern, s.Bytes,
+			strconv.FormatFloat(s.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(s.SteadySeconds, 'g', -1, 64)); err != nil {
 			return err
 		}
 	}
@@ -88,6 +97,17 @@ func LoadModel(t *device.Target, r io.Reader) (*Model, error) {
 		steady, err := strconv.ParseFloat(f[4], 64)
 		if err != nil {
 			return nil, fmt.Errorf("membw: line %d: steady: %w", line, err)
+		}
+		// strconv.ParseFloat happily parses "NaN" and "±Inf", and NaN in
+		// particular slips through a plain <= 0 guard (it fails every
+		// comparison), so non-finite values must be rejected explicitly —
+		// one poisoned sample would propagate through the interpolator
+		// into every bandwidth prediction.
+		if math.IsNaN(secs) || math.IsInf(secs, 0) {
+			return nil, fmt.Errorf("membw: line %d: non-finite seconds %v", line, secs)
+		}
+		if math.IsNaN(steady) || math.IsInf(steady, 0) {
+			return nil, fmt.Errorf("membw: line %d: non-finite steady-seconds %v", line, steady)
 		}
 		if bytes <= 0 || secs <= 0 || steady <= 0 {
 			return nil, fmt.Errorf("membw: line %d: non-positive measurement", line)

@@ -1,6 +1,7 @@
 package membw
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -37,6 +38,77 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 		if a, b := orig.RhoH(bytes), loaded.RhoH(bytes); a != b {
 			t.Errorf("RhoH(%d): %v vs %v", bytes, a, b)
+		}
+	}
+}
+
+// TestSaveLoadBitExact: a Save → Load roundtrip must reproduce every
+// float64 of the table bit for bit — the property the persistent
+// evaluation store's warm==cold differential gate rests on. (The old
+// %.12e format failed this: it dropped the low mantissa bits.)
+func TestSaveLoadBitExact(t *testing.T) {
+	orig := buildModel(t)
+	var buf strings.Builder
+	if err := orig.SaveTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(device.Virtex7690T(), strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Table) != len(orig.Table) {
+		t.Fatalf("table length %d, want %d", len(loaded.Table), len(orig.Table))
+	}
+	for i, s := range orig.Table {
+		l := loaded.Table[i]
+		if math.Float64bits(l.Seconds) != math.Float64bits(s.Seconds) {
+			t.Errorf("sample %d: Seconds %x != %x (%v vs %v)", i,
+				math.Float64bits(l.Seconds), math.Float64bits(s.Seconds), l.Seconds, s.Seconds)
+		}
+		if math.Float64bits(l.SteadySeconds) != math.Float64bits(s.SteadySeconds) {
+			t.Errorf("sample %d: SteadySeconds %x != %x", i,
+				math.Float64bits(l.SteadySeconds), math.Float64bits(s.SteadySeconds))
+		}
+		if math.Float64bits(l.Sustained) != math.Float64bits(s.Sustained) ||
+			math.Float64bits(l.SteadySustained) != math.Float64bits(s.SteadySustained) {
+			t.Errorf("sample %d: derived bandwidths differ after roundtrip", i)
+		}
+	}
+	// A second save of the loaded model must be byte-identical: the
+	// format is a fixed point after one roundtrip.
+	var buf2 strings.Builder
+	if err := loaded.SaveTable(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("second SaveTable not byte-identical to the first")
+	}
+}
+
+// TestLoadModelRejectsNonFinite: NaN passes every <= comparison and Inf
+// passes > 0, so both must be rejected explicitly, with the offending
+// line number in the error.
+func TestLoadModelRejectsNonFinite(t *testing.T) {
+	tgt := device.Virtex7690T()
+	header := "tytra-membw 1 " + tgt.Name + "\n"
+	cases := map[string]string{
+		"NaN seconds":   "100 CONT 40000 NaN 9e-5\n",
+		"+Inf seconds":  "100 CONT 40000 +Inf 9e-5\n",
+		"Inf seconds":   "100 CONT 40000 Inf 9e-5\n",
+		"-Inf seconds":  "100 CONT 40000 -Inf 9e-5\n",
+		"NaN steady":    "100 CONT 40000 1e-4 nan\n",
+		"Inf steady":    "100 CONT 40000 1e-4 inf\n",
+		"-Inf steady":   "100 STRIDED 40000 1e-2 -inf\n",
+		"NaN lowercase": "100 STRIDED 40000 nan 9e-3\n",
+	}
+	for name, bad := range cases {
+		_, err := LoadModel(tgt, strings.NewReader(header+bad))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error does not name the line: %v", name, err)
 		}
 	}
 }

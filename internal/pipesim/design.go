@@ -1,8 +1,11 @@
 package pipesim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/tir"
@@ -516,28 +519,40 @@ func lanesShareMemory(progs []*program) bool {
 // fuzzing run churning thousands of one-shot modules stays bounded.
 const designCacheBound = 32
 
-type designKey struct {
-	m   *tir.Module
-	cfg Config
+// designKey is the content fingerprint of a (module, executor level)
+// pair: SHA-256 over a length-prefixed encoding of the module's printed
+// IR and the config. An earlier revision keyed the cache by *tir.Module
+// pointer identity, which was wrong twice over: a freed module's
+// address can be reused by a structurally different allocation (a stale
+// design served for the wrong kernel), and two equal modules built
+// independently never shared an entry. Content keying fixes both — and
+// drops the old no-mutation-after-first-Run caveat, since a mutated
+// module simply hashes to a different key.
+func designKey(m *tir.Module, cfg Config) string {
+	h := sha256.New()
+	for _, part := range []string{m.String(), fmt.Sprintf("%+v", cfg)} {
+		h.Write([]byte(strconv.Itoa(len(part))))
+		h.Write([]byte{':'})
+		h.Write([]byte(part))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // designCache memoises CompiledDesigns for the package-level one-shot
-// entry points, keyed by module identity and executor level, with LRU
-// eviction at designCacheBound entries. The cache assumes a module is
-// not structurally mutated after its first Run — the same assumption a
-// long-lived Runner has always made between Run calls.
+// entry points, keyed by module content and executor level, with LRU
+// eviction at designCacheBound entries.
 var designCache = struct {
 	sync.Mutex
-	entries map[designKey]*CompiledDesign
-	order   []designKey // least recently used first
-}{entries: map[designKey]*CompiledDesign{}}
+	entries map[string]*CompiledDesign
+	order   []string // least recently used first
+}{entries: map[string]*CompiledDesign{}}
 
 // cachedDesign returns the memoised design for (m, cfg), compiling on
 // miss. Hot callers that own a module should hold a CompiledDesign (or
 // a Runner) directly; this cache is what keeps the convenience entry
 // points from recompiling per call.
 func cachedDesign(m *tir.Module, cfg Config) (*CompiledDesign, error) {
-	key := designKey{m: m, cfg: cfg}
+	key := designKey(m, cfg)
 	designCache.Lock()
 	if d, ok := designCache.entries[key]; ok {
 		for i, k := range designCache.order {

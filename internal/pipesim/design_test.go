@@ -225,11 +225,12 @@ func TestDesignCacheReuse(t *testing.T) {
 		t.Errorf("cachedDesign shared one design across executor levels")
 	}
 
-	// Churn more distinct modules than the bound: the cache must stay
-	// at designCacheBound entries and evicted modules must recompile
-	// and still run correctly.
+	// Churn more distinct module CONTENTS than the bound (the cache is
+	// content-keyed, so re-building an equal module is a hit, not
+	// churn): the cache must stay at designCacheBound entries and
+	// evicted modules must recompile and still run correctly.
 	for i := 0; i < designCacheBound+8; i++ {
-		mi, err := kernels.SORSpec{IM: 5, JM: 4, KM: 3 + i%4, Lanes: 1}.Module()
+		mi, err := kernels.SORSpec{IM: 5, JM: 4, KM: 3 + i, Lanes: 1}.Module()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,6 +257,72 @@ func TestDesignCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireIdenticalResult(t, "cache/evicted", got, want)
+}
+
+// TestDesignCacheContentKeyed: the package cache is keyed by module
+// CONTENT, not *tir.Module pointer identity. The fixed regression: a
+// pointer key could serve a stale design when a freed module's address
+// was reused by a structurally different allocation, and never shared
+// designs between equal modules built independently. Content keys make
+// the address irrelevant in both directions.
+func TestDesignCacheContentKeyed(t *testing.T) {
+	spec := kernels.SORSpec{IM: 6, JM: 5, KM: 4, Lanes: 2}
+	m1, err := spec.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := spec.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("spec.Module returned a shared module; the test needs distinct allocations")
+	}
+	d1, err := cachedDesign(m1, defaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cachedDesign(m2, defaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("equal modules built independently did not share a cached design")
+	}
+
+	// A structurally different module must never alias — whatever
+	// address it was allocated at.
+	otherSpec := kernels.SORSpec{IM: 6, JM: 5, KM: 7, Lanes: 2}
+	other, err := otherSpec.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if designKey(other, defaultConfig) == designKey(m1, defaultConfig) {
+		t.Fatalf("structurally different modules share a content key")
+	}
+	d3, err := cachedDesign(other, defaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Errorf("structurally different modules shared a cached design")
+	}
+	// And the design served through the cache must compute the module it
+	// was asked for: with a stale aliased entry these results would be
+	// the wrong kernel's.
+	mem, err := kernels.BindInputs(otherSpec.MakeInputs(9), otherSpec.Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(other, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunOracle(other, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResult(t, "content-key", got, want)
 }
 
 // TestReleaseForeignInstancePanics: cross-design Release would poison
