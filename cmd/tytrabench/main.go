@@ -185,7 +185,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		emit(r.Table())
+		t, err := r.Table()
+		if err != nil {
+			return err
+		}
+		emit(t)
 	}
 	if want("fig17") || want("fig18") {
 		ran = true

@@ -1,0 +1,382 @@
+// Command tytralint runs the repository's custom determinism and
+// hygiene analyzers (internal/lint) over Go packages.
+//
+// It speaks two dialects:
+//
+//   - As a vettool: `go vet -vettool=$(which tytralint) ./...`. The go
+//     command probes `-V=full` and `-flags`, then invokes the tool once
+//     per package with a single vet.cfg argument describing the files
+//     and export data. Findings go to stderr and the exit status is 2,
+//     matching golang.org/x/tools' unitchecker contract.
+//
+//   - Standalone: `tytralint ./...` walks the package tree itself,
+//     type-checks each package with the source importer and prints
+//     findings to stdout, exiting 1 when any survive. This needs no go
+//     build cache and is what the unit tests drive.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("tytralint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	version := fs.String("V", "", "print version and exit (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
+	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		// The go command caches vet results keyed on this line.
+		fmt.Fprintln(out, "tytralint version 1 stdlib")
+		return 0
+	}
+	if *printFlags {
+		fmt.Fprintln(out, "[]")
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*runFilter)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetCfg(rest[0], analyzers, errOut)
+	}
+	return runStandalone(rest, analyzers, out, errOut)
+}
+
+// selectAnalyzers resolves a -run filter against the registry.
+func selectAnalyzers(filter string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if filter == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("tytralint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfig is the JSON the go command writes for each package when the
+// tool is used via -vettool. Field set mirrors unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetCfg handles one `go vet` unit of work.
+func runVetCfg(cfgPath string, analyzers []*lint.Analyzer, errOut io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(errOut, "tytralint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(errOut, "tytralint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// We compute no facts, but go vet demands the output file exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(errOut, "tytralint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(errOut, "tytralint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImp.Import(path)
+		}),
+	}
+	info := newInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(errOut, "tytralint: %v\n", err)
+		return 1
+	}
+
+	findings, err := lint.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(errOut, "tytralint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(errOut, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importerFunc adapts a closure to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runStandalone loads packages from the working tree and lints them.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer, out, errOut io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(errOut, "tytralint: %v\n", err)
+		return 1
+	}
+	modRoot, modPath := moduleInfo()
+
+	total := 0
+	for _, dir := range dirs {
+		findings, err := lintDir(dir, modRoot, modPath, analyzers)
+		if err != nil {
+			fmt.Fprintf(errOut, "tytralint: %s: %v\n", dir, err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves `dir` and `dir/...` arguments into the sorted
+// list of directories containing Go files.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "." || root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleInfo finds the enclosing go.mod so packages get their real
+// import paths (notimenow keys its perf-package exemption on them).
+func moduleInfo() (root, path string) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest)
+				}
+			}
+			return dir, ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", ""
+		}
+		dir = parent
+	}
+}
+
+// lintDir type-checks the non-test Go files of one directory as a
+// package and runs the analyzers over it.
+func lintDir(dir, modRoot, modPath string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if buildIgnored(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	importPath := dir
+	if modRoot != "" && modPath != "" {
+		if abs, err := filepath.Abs(dir); err == nil {
+			if rel, err := filepath.Rel(modRoot, abs); err == nil {
+				if rel == "." {
+					importPath = modPath
+				} else {
+					importPath = modPath + "/" + filepath.ToSlash(rel)
+				}
+			}
+		}
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := newInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	return lint.Run(fset, files, pkg, info, analyzers)
+}
+
+// buildIgnored reports whether a file opts out of the build via a
+// `//go:build ignore` constraint (scripts run with `go run file.go`).
+func buildIgnored(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if strings.HasPrefix(line, "//go:build") && strings.Contains(line, "ignore") {
+				return true
+			}
+			continue
+		}
+		break
+	}
+	return false
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionProbe(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := realMain([]string{"-V=full"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "tytralint version") {
+		t.Errorf("unexpected -V=full output %q", out.String())
+	}
+}
+
+func TestFlagsProbe(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := realMain([]string{"-flags"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("unexpected -flags output %q", out.String())
+	}
+}
+
+func TestStandaloneFindsViolation(t *testing.T) {
+	var out, errOut strings.Builder
+	code := realMain([]string{filepath.Join("testdata", "standalone", "bad")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[norandglobal]") {
+		t.Errorf("expected a norandglobal finding, got %q", out.String())
+	}
+}
+
+func TestStandaloneCleanPackage(t *testing.T) {
+	var out, errOut strings.Builder
+	code := realMain([]string{filepath.Join("testdata", "standalone", "good")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout %q stderr %q", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("expected no findings, got %q", out.String())
+	}
+}
+
+func TestRunFilterRejectsUnknown(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := realMain([]string{"-run", "bogus", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr %q", errOut.String())
+	}
+}

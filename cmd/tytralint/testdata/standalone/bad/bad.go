@@ -1,0 +1,6 @@
+package bad
+
+import "math/rand"
+
+// Roll uses the shared global source, which tytralint must flag.
+func Roll() int { return rand.Intn(6) }

@@ -31,14 +31,18 @@ var (
 
 func init() {
 	byAlias = map[string]int{}
-	mustRegister := func(mk func() *Target, aliases ...string) {
-		if err := Register(mk, aliases...); err != nil {
-			panic(err)
-		}
+	MustRegister(StratixVGSD8, "stratix-v", "maia")
+	MustRegister(Virtex7690T, "virtex-7", "adm-pcie-7v3")
+	MustRegister(GSD8Edu, "edu")
+}
+
+// MustRegister is Register for init-time target tables, where a
+// duplicate name is a programming error. Code registering targets from
+// configuration or user input must call Register and handle the error.
+func MustRegister(mk func() *Target, aliases ...string) {
+	if err := Register(mk, aliases...); err != nil {
+		panic(err)
 	}
-	mustRegister(StratixVGSD8, "stratix-v", "maia")
-	mustRegister(Virtex7690T, "virtex-7", "adm-pcie-7v3")
-	mustRegister(GSD8Edu, "edu")
 }
 
 // Register adds a target constructor to the registry under its

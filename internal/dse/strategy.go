@@ -53,13 +53,14 @@ type StrategySpec struct {
 // CLI help all read, so they cannot drift apart.
 var strategyRegistry []StrategySpec
 
-// registerStrategy adds a strategy to the registry. Names and aliases
-// must be unique across the registry. Registration is deliberately
-// package-internal, like the searcher seam itself: a strategy must
-// uphold the core's determinism contract (randomness only from
-// Search.Rand, no state outside the searcher), which the in-package
-// test suite enforces for every registered entry.
-func registerStrategy(sp StrategySpec) error {
+// RegisterStrategy adds a strategy to the registry. Names and aliases
+// must be unique across the registry; collisions and incomplete specs
+// come back as errors so a caller wiring strategies from configuration
+// cannot crash the process. A registered strategy must uphold the
+// core's determinism contract (randomness only from Search.Rand, no
+// state outside the searcher), which the in-package test suite
+// enforces for every registered entry.
+func RegisterStrategy(sp StrategySpec) error {
 	if sp.Name == "" || sp.New == nil {
 		return fmt.Errorf("dse: strategy spec needs a name and a factory")
 	}
@@ -79,8 +80,10 @@ func registerStrategy(sp StrategySpec) error {
 	return nil
 }
 
+// mustRegisterStrategy backs the init-time table below, where a
+// collision is a programming error.
 func mustRegisterStrategy(sp StrategySpec) {
-	if err := registerStrategy(sp); err != nil {
+	if err := RegisterStrategy(sp); err != nil {
 		panic(err)
 	}
 }

@@ -72,8 +72,9 @@ func Fig15Devices() (*Fig15DevicesResult, error) {
 }
 
 // Table renders the cross-device sweep with the per-device walls in
-// the title.
-func (r *Fig15DevicesResult) Table() *report.Table {
+// the title. The error is reachable when a caller rebuilds the result
+// with a truncated space, so it is returned, not panicked.
+func (r *Fig15DevicesResult) Table() (*report.Table, error) {
 	walls := ""
 	for i, tgt := range r.Shelf {
 		if i > 0 {
@@ -87,9 +88,7 @@ func (r *Fig15DevicesResult) Table() *report.Table {
 		fmt.Sprintf("Fig 15 per device: SOR variant sweep across the shelf (form B; walls: %s)", walls),
 		r.Result)
 	if err != nil {
-		// The space is built with both axes above; an error here is a
-		// programming bug, not an input condition.
-		panic(fmt.Sprintf("experiments: Fig15Devices table: %v", err))
+		return nil, fmt.Errorf("experiments: Fig15Devices table: %w", err)
 	}
-	return t
+	return t, nil
 }

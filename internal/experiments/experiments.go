@@ -432,7 +432,7 @@ type SpeedResult struct {
 // is measured, matching the paper's methodology (calibration is
 // one-time per target).
 func EstimatorSpeed(mdl *costmodel.Model) (*SpeedResult, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow notimenow
 	n := 0
 	for lanes := 1; lanes <= 16; lanes++ {
 		m, err := Fig15Spec(lanes).Module()
@@ -444,7 +444,7 @@ func EstimatorSpeed(mdl *costmodel.Model) (*SpeedResult, error) {
 		}
 		n++
 	}
-	total := time.Since(start)
+	total := time.Since(start) //lint:allow notimenow
 	return &SpeedResult{
 		Variants:  n,
 		Total:     total,

@@ -258,7 +258,11 @@ func TestFig15DevicesExperiment(t *testing.T) {
 		t.Errorf("full GSD8 hits a compute wall at %d lanes inside a 16-lane sweep", gsd8.ComputeWall)
 	}
 
-	tab := r.Table().String()
+	devTab, err := r.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := devTab.String()
 	for _, k := range []string{"Fig 15 per device", "stratix-v-gsd8-edu", "virtex-7-690t", "walls"} {
 		if !strings.Contains(tab, k) {
 			t.Errorf("device table missing %q", k)

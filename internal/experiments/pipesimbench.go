@@ -277,18 +277,18 @@ func allocPerOp(f func() error) (allocs, bytes float64, err error) {
 // goroutines each looping run() — the shared-design service pattern.
 // Returns operations per second of wall-clock time.
 func concurrentThroughput(minTime time.Duration, workers int, run func() error) (float64, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow notimenow
 	if err := run(); err != nil {
 		return 0, err
 	}
-	per := time.Since(start)
+	per := time.Since(start) //lint:allow notimenow
 	if per <= 0 {
 		per = time.Nanosecond
 	}
 	n := int(minTime/per)/workers + 1
 	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
-	start = time.Now()
+	start = time.Now() //lint:allow notimenow
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -305,7 +305,7 @@ func concurrentThroughput(minTime time.Duration, workers int, run func() error) 
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start).Seconds()
+	elapsed := time.Since(start).Seconds() //lint:allow notimenow
 	select {
 	case err := <-errCh:
 		return 0, err
@@ -323,22 +323,22 @@ func timeIt(minTime time.Duration, f func() error) (int64, error) {
 	if err := f(); err != nil {
 		return 0, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow notimenow
 	if err := f(); err != nil {
 		return 0, err
 	}
-	per := time.Since(start)
+	per := time.Since(start) //lint:allow notimenow
 	if per <= 0 {
 		per = time.Nanosecond
 	}
 	n := int(minTime/per) + 1
-	start = time.Now()
+	start = time.Now() //lint:allow notimenow
 	for i := 0; i < n; i++ {
 		if err := f(); err != nil {
 			return 0, err
 		}
 	}
-	return time.Since(start).Nanoseconds() / int64(n), nil
+	return time.Since(start).Nanoseconds() / int64(n), nil //lint:allow notimenow
 }
 
 // JSON renders the report for BENCH_PIPESIM.json.

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzers(t *testing.T) {
+	for _, a := range lint.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			linttest.Run(t, filepath.Join("testdata", "src", a.Name), a)
+		})
+	}
+}
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is incomplete", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

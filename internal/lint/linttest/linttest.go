@@ -1,0 +1,113 @@
+// Package linttest runs one analyzer over a fixture directory and
+// checks its findings against `// want "regexp"` comments, in the shape
+// of x/tools' analysistest but built only on the standard library.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one `// want` comment: the finding the fixture demands
+// on that line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want [\"`](.+)[\"`]")
+
+// Run type-checks every .go file under dir and asserts the analyzer
+// reports exactly the findings the fixtures `// want`.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixtures in %s (%v)", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, scanWants(t, fset, f)...)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fixture/"+a.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	got, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range got {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// scanWants extracts the `// want "regexp"` expectations of one file.
+func scanWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("bad want pattern %q: %v", m[1], err)
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		}
+	}
+	return out
+}

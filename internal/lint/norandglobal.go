@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoRandGlobal flags calls through math/rand's package-level functions.
+// Those share one hidden global source, so any two call sites — or a
+// library touching the global behind the caller's back — perturb each
+// other's sequences and break run-to-run reproducibility of experiments.
+// Constructing an explicit generator (rand.New(rand.NewSource(seed)))
+// keeps every stream independent and seedable; the constructors
+// themselves are therefore allowed.
+var NoRandGlobal = &Analyzer{
+	Name: "norandglobal",
+	Doc:  "forbid math/rand package-level functions; use an explicit seeded rand.New(rand.NewSource(...))",
+	Run:  runNoRandGlobal,
+}
+
+// randConstructors are the package-level functions that build explicit
+// generators rather than using the hidden global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runNoRandGlobal(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := importedPkg(pass.TypesInfo, sel.X)
+			if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			if isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s.%s uses the shared global source; construct rand.New(rand.NewSource(seed)) for reproducible runs",
+				pkg.Name(), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoTimeNow flags wall-clock reads (time.Now, time.Since) outside
+// internal/perf. Measurement is the one thing this repository sells —
+// the paper's cycle counts and throughput tables — so every timing
+// source routes through the perf package, where monotonic reads are
+// taken consistently and results stay comparable across runs. A
+// deliberate wall-clock read (the benchmark harness itself) carries a
+// //lint:allow notimenow waiver.
+var NoTimeNow = &Analyzer{
+	Name: "notimenow",
+	Doc:  "forbid time.Now/time.Since outside internal/perf; timing routes through the perf package",
+	Run:  runNoTimeNow,
+}
+
+func runNoTimeNow(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/perf") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := importedPkg(pass.TypesInfo, sel.X)
+			if pkg == nil || pkg.Path() != "time" {
+				return true
+			}
+			if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+				return true
+			}
+			if isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s outside internal/perf: route timing through the perf package",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PoolRelease flags functions that call an Acquire method without any
+// matching Release call on the same receiver. The simulator's instance
+// pool (pipesim.CompiledDesign.Acquire/Release) only amortises its
+// allocation if every acquired instance returns to the pool; a leaked
+// instance silently degrades the steady state back to
+// allocate-per-call. The check is intra-function by design: an
+// Acquire whose instance legitimately escapes can carry a
+// //lint:allow poolrelease waiver at the call site. Test files are
+// exempt — tests deliberately leak and cross-release to probe the
+// pool's own guards.
+var PoolRelease = &Analyzer{
+	Name: "poolrelease",
+	Doc:  "every Acquire call needs a matching (normally deferred) Release in the same function",
+	Run:  runPoolRelease,
+}
+
+func runPoolRelease(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isTestFile(pass.Fset, fn.Pos()) {
+				continue
+			}
+			checkPoolBalance(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkPoolBalance(pass *Pass, fn *ast.FuncDecl) {
+	type site struct {
+		pos  ast.Node
+		recv string
+	}
+	var acquires []site
+	releases := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Skip package-qualified calls: Acquire/Release here are the
+		// pool methods, not some pkg.Acquire helper.
+		if importedPkg(pass.TypesInfo, sel.X) != nil {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Acquire":
+			acquires = append(acquires, site{pos: call, recv: rootIdent(sel.X)})
+		case "Release":
+			releases[rootIdent(sel.X)] = true
+		}
+		return true
+	})
+	for _, a := range acquires {
+		if releases[a.recv] {
+			continue
+		}
+		pass.Reportf(a.pos.Pos(),
+			"%s.Acquire without a matching %s.Release in this function: pooled instance leaks",
+			a.recv, a.recv)
+	}
+}

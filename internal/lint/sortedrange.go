@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortedRange flags map iterations whose bodies feed order-sensitive
+// sinks: appending to a slice, sending on a channel, or printing. Go
+// randomises map iteration order, so anything assembled in such a loop
+// — a Result table, a report row, a key list — differs between runs
+// unless the collected values are sorted afterwards. The one idiom the
+// repository does rely on is allowed: appending keys and passing the
+// slice to a sort.* / slices.Sort* call later in the same function.
+var SortedRange = &Analyzer{
+	Name: "sortedrange",
+	Doc:  "forbid map iteration feeding slices, channels or output without a subsequent sort",
+	Run:  runSortedRange,
+}
+
+func runSortedRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isTestFile(pass.Fset, fn.Pos()) {
+				continue
+			}
+			checkFuncRanges(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFuncRanges(pass *Pass, fn *ast.FuncDecl) {
+	sorted := sortedSlices(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(rng.Pos(), "map iteration sends on a channel in nondeterministic order")
+				return false
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "append" && len(s.Args) > 0 {
+					root := rootIdent(s.Args[0])
+					if root != "" && sorted[root] {
+						return true // appended slice is sorted afterwards
+					}
+					pass.Reportf(rng.Pos(),
+						"map iteration appends to %s in nondeterministic order; collect and sort, or sort the keys first",
+						renderExpr(s.Args[0]))
+					return false
+				}
+				if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+					if pkg := importedPkg(pass.TypesInfo, sel.X); pkg != nil && pkg.Path() == "fmt" {
+						switch sel.Sel.Name {
+						case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+							pass.Reportf(rng.Pos(), "map iteration prints in nondeterministic order")
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// sortedSlices returns the root identifiers of every expression passed
+// to a sort.* or slices.Sort* call anywhere in the function body.
+func sortedSlices(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := importedPkg(pass.TypesInfo, sel.X)
+		if pkg == nil {
+			return true
+		}
+		if pkg.Path() != "sort" && pkg.Path() != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if root := rootIdent(a); root != "" {
+				out[root] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdent unwraps selectors and indexing down to the base identifier:
+// x, x.f, x[i].f all root at "x".
+func rootIdent(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// renderExpr prints a compact source form of simple expressions for
+// messages.
+func renderExpr(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return renderExpr(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return renderExpr(v.X) + "[...]"
+	default:
+		return "slice"
+	}
+}

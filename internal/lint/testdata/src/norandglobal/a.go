@@ -1,0 +1,18 @@
+package a
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)        // want `shared global source`
+	return rand.Intn(10) // want `shared global source`
+}
+
+func good() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+func waived() float64 {
+	//lint:allow norandglobal
+	return rand.Float64()
+}

@@ -1,0 +1,19 @@
+package a
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `outside internal/perf`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `outside internal/perf`
+}
+
+func good(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d)
+}
+
+func waived() time.Time {
+	return time.Now() //lint:allow notimenow
+}

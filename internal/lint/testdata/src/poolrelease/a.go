@@ -1,0 +1,30 @@
+package a
+
+type pool struct{}
+
+type inst struct{}
+
+func (p *pool) Acquire() *inst  { return &inst{} }
+func (p *pool) Release(i *inst) {}
+
+func bad(p *pool) *inst {
+	i := p.Acquire() // want `without a matching p.Release`
+	return i
+}
+
+func good(p *pool) {
+	i := p.Acquire()
+	defer p.Release(i)
+	_ = i
+}
+
+func goodConditional(p *pool, keep bool) {
+	i := p.Acquire()
+	if keep {
+		p.Release(i)
+	}
+}
+
+func waived(p *pool) *inst {
+	return p.Acquire() //lint:allow poolrelease
+}

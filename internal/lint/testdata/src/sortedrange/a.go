@@ -1,0 +1,62 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+type result struct {
+	rows []string
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badField(m map[string]int, r *result) {
+	for k := range m { // want `appends to r.rows`
+		r.rows = append(r.rows, k)
+	}
+}
+
+func badPrint(m map[string]int, found bool) {
+	for k, v := range m { // want `prints in nondeterministic order`
+		fmt.Println(k, v)
+	}
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodAggregate(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func waived(m map[string]int) []string {
+	var out []string
+	//lint:allow sortedrange
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -46,9 +46,12 @@ type CompiledDesign struct {
 func Compile(m *tir.Module) (*CompiledDesign, error) { return CompileConfig(m, defaultConfig) }
 
 // CompileConfig validates and compiles the module at an explicit
-// executor escalation level.
+// executor escalation level. Validation runs the full static analysis
+// (tir.Analyze), so a rejected module reports every positioned TIR0xx
+// diagnostic — the same output tytravet prints — not just the first
+// compile obstacle.
 func CompileConfig(m *tir.Module, cfg Config) (*CompiledDesign, error) {
-	if err := m.Validate(); err != nil {
+	if err := m.Analyze().ErrOrNil(); err != nil {
 		return nil, err
 	}
 	tree, err := m.ConfigTree()

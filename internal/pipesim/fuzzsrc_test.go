@@ -1,0 +1,47 @@
+package pipesim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tir"
+)
+
+// FuzzCompile asserts the contract tytravet advertises: any input the
+// parser accepts either compiles or comes back as a diagnostic error —
+// Compile never panics. Seeded with the tir surface corpus (good and
+// bad) plus cheap structural mutations of each.
+func FuzzCompile(f *testing.F) {
+	for _, pattern := range []string{
+		filepath.Join("..", "tir", "testdata", "*.tirl"),
+		filepath.Join("..", "tir", "testdata", "bad", "*.tirl"),
+	} {
+		paths, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			s := string(src)
+			f.Add(s)
+			f.Add(s[:len(s)/2])
+			f.Add(strings.Replace(s, "!0", "!2", 1))
+			f.Add(strings.Replace(s, "ui18", "f32", 1))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := tir.ParseOnly("fuzz.tirl", src)
+		if err != nil {
+			return
+		}
+		if _, err := Compile(m); err != nil {
+			// Rejected with a diagnostic: the acceptable failure mode.
+			return
+		}
+	})
+}

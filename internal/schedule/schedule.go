@@ -12,6 +12,7 @@ package schedule
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/tir"
 )
@@ -264,7 +265,15 @@ func ASAPIn(m *tir.Module, f *tir.Function) (*Schedule, error) {
 	}
 	sched.Depth = depth
 
-	for name, lag := range consumerLag {
+	// Emit balancing delays in name order: consumerLag is a map, and the
+	// generated HDL must not reorder between runs.
+	lagged := make([]string, 0, len(consumerLag))
+	for name := range consumerLag {
+		lagged = append(lagged, name)
+	}
+	sort.Strings(lagged)
+	for _, name := range lagged {
+		lag := consumerLag[name]
 		if lag <= 0 {
 			continue
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/diag"
 )
 
 // ParMode is the parallelism keyword attached to a Compute-IR function or
@@ -158,7 +160,8 @@ type MemObject struct {
 	Size    int64 // number of elements
 	Space   MemSpace
 	Pattern AccessPattern
-	Stride  int64 // element stride for PatternStrided; 1 otherwise
+	Stride  int64    // element stride for PatternStrided; 1 otherwise
+	At      diag.Pos // declaration position; zero for built modules
 }
 
 // Bytes returns the total storage footprint of the object.
@@ -170,7 +173,8 @@ type StreamObject struct {
 	Name string // without the leading '%'
 	Mem  string // memory object name
 	Dir  Direction
-	Port string // port name this stream services, e.g. "main.p"
+	Port string   // port name this stream services, e.g. "main.p"
+	At   diag.Pos // declaration position; zero for built modules
 }
 
 // Port is a Compute-IR stream-port declaration:
@@ -185,8 +189,9 @@ type Port struct {
 	Elem      Type
 	Dir       Direction
 	Pattern   AccessPattern
-	Stride    int64  // metadata int: stride for STRIDED, else 0
-	Stream    string // stream object name
+	Stride    int64    // metadata int: stride for STRIDED, else 0
+	Stream    string   // stream object name
+	At        diag.Pos // declaration position; zero for built modules
 }
 
 // LocalName returns the port's name within its function ("p" for
@@ -255,6 +260,9 @@ type Instr interface {
 	Defs() string
 	// Uses returns the operands read.
 	Uses() []Operand
+	// Pos returns the instruction's source position (zero for built
+	// modules).
+	Pos() diag.Pos
 	String() string
 }
 
@@ -269,11 +277,13 @@ type OffsetInstr struct {
 	Ty     Type
 	Src    Operand // must be a register or port stream
 	Offset int64
+	At     diag.Pos
 }
 
 func (*OffsetInstr) isInstr()          {}
 func (i *OffsetInstr) Defs() string    { return i.Dst }
 func (i *OffsetInstr) Uses() []Operand { return []Operand{i.Src} }
+func (i *OffsetInstr) Pos() diag.Pos   { return i.At }
 func (i *OffsetInstr) String() string {
 	sign := "+"
 	off := i.Offset
@@ -290,11 +300,13 @@ type ConstInstr struct {
 	Dst string
 	Ty  Type
 	Val int64
+	At  diag.Pos
 }
 
 func (*ConstInstr) isInstr()          {}
 func (i *ConstInstr) Defs() string    { return i.Dst }
 func (i *ConstInstr) Uses() []Operand { return nil }
+func (i *ConstInstr) Pos() diag.Pos   { return i.At }
 func (i *ConstInstr) String() string {
 	return fmt.Sprintf("%s %%%s = const %s %d", i.Ty, i.Dst, i.Ty, i.Val)
 }
@@ -313,11 +325,13 @@ type BinInstr struct {
 	Op        Opcode
 	Ty        Type
 	A, B      Operand
+	At        diag.Pos
 }
 
 func (*BinInstr) isInstr()          {}
 func (i *BinInstr) Defs() string    { return i.Dst }
 func (i *BinInstr) Uses() []Operand { return []Operand{i.A, i.B} }
+func (i *BinInstr) Pos() diag.Pos   { return i.At }
 func (i *BinInstr) String() string {
 	sigil := "%"
 	if i.GlobalDst {
@@ -332,11 +346,13 @@ type UnInstr struct {
 	Op  Opcode
 	Ty  Type
 	A   Operand
+	At  diag.Pos
 }
 
 func (*UnInstr) isInstr()          {}
 func (i *UnInstr) Defs() string    { return i.Dst }
 func (i *UnInstr) Uses() []Operand { return []Operand{i.A} }
+func (i *UnInstr) Pos() diag.Pos   { return i.At }
 func (i *UnInstr) String() string {
 	return fmt.Sprintf("%s %%%s = %s %s %s", i.Ty, i.Dst, i.Op, i.Ty, i.A)
 }
@@ -349,11 +365,13 @@ type CmpInstr struct {
 	Pred string // eq, ne, ult, ule, ugt, uge, slt, sle, sgt, sge
 	Ty   Type   // operand type
 	A, B Operand
+	At   diag.Pos
 }
 
 func (*CmpInstr) isInstr()          {}
 func (i *CmpInstr) Defs() string    { return i.Dst }
 func (i *CmpInstr) Uses() []Operand { return []Operand{i.A, i.B} }
+func (i *CmpInstr) Pos() diag.Pos   { return i.At }
 func (i *CmpInstr) String() string {
 	return fmt.Sprintf("ui1 %%%s = icmp %s %s %s, %s", i.Dst, i.Pred, i.Ty, i.A, i.B)
 }
@@ -366,11 +384,13 @@ type SelectInstr struct {
 	Cond Operand
 	Ty   Type
 	A, B Operand
+	At   diag.Pos
 }
 
 func (*SelectInstr) isInstr()          {}
 func (i *SelectInstr) Defs() string    { return i.Dst }
 func (i *SelectInstr) Uses() []Operand { return []Operand{i.Cond, i.A, i.B} }
+func (i *SelectInstr) Pos() diag.Pos   { return i.At }
 func (i *SelectInstr) String() string {
 	return fmt.Sprintf("%s %%%s = select ui1 %s, %s %s, %s", i.Ty, i.Dst, i.Cond, i.Ty, i.A, i.B)
 }
@@ -388,11 +408,13 @@ type OutInstr struct {
 	Port string // output parameter (local name)
 	Ty   Type
 	Val  Operand
+	At   diag.Pos
 }
 
 func (*OutInstr) isInstr()          {}
 func (i *OutInstr) Defs() string    { return "" }
 func (i *OutInstr) Uses() []Operand { return []Operand{i.Val} }
+func (i *OutInstr) Pos() diag.Pos   { return i.At }
 func (i *OutInstr) String() string {
 	return fmt.Sprintf("out %s %%%s, %s", i.Ty, i.Port, i.Val)
 }
@@ -404,11 +426,13 @@ type CallInstr struct {
 	Callee string
 	Args   []Operand
 	Mode   ParMode
+	At     diag.Pos
 }
 
 func (*CallInstr) isInstr()          {}
 func (i *CallInstr) Defs() string    { return "" }
 func (i *CallInstr) Uses() []Operand { return i.Args }
+func (i *CallInstr) Pos() diag.Pos   { return i.At }
 func (i *CallInstr) String() string {
 	args := make([]string, len(i.Args))
 	for k, a := range i.Args {
@@ -421,6 +445,7 @@ func (i *CallInstr) String() string {
 type Param struct {
 	Name string
 	Ty   Type
+	At   diag.Pos
 }
 
 // Function is a Compute-IR function: the unit of architecture. A pipe
@@ -432,6 +457,7 @@ type Function struct {
 	Params []Param
 	Mode   ParMode
 	Body   []Instr
+	At     diag.Pos // declaration position; zero for built modules
 }
 
 // Calls returns the call instructions in the body, in order.

@@ -1,8 +1,9 @@
 package tir
 
 import (
-	"fmt"
 	"strconv"
+
+	"repro/internal/diag"
 )
 
 // Builder constructs Modules programmatically. It is used by the kernel
@@ -15,6 +16,7 @@ import (
 type Builder struct {
 	mod     *Module
 	nextTmp int
+	errs    diag.List
 }
 
 // NewBuilder returns a builder for a module with the given name.
@@ -22,8 +24,13 @@ func NewBuilder(name string) *Builder {
 	return &Builder{mod: &Module{Name: name}}
 }
 
-// Module finalises and validates the module.
+// Module finalises and validates the module. Misuse recorded during
+// construction (e.g. a Bin over mismatched operand types) surfaces
+// here as diagnostics rather than crashing at the call site.
 func (b *Builder) Module() (*Module, error) {
+	if err := b.errs.ErrOrNil(); err != nil {
+		return nil, err
+	}
 	if err := b.mod.Validate(); err != nil {
 		return nil, err
 	}
@@ -198,11 +205,15 @@ func (fb *FuncBuilder) NamedConst(name string, ty Type, v int64) Value {
 	return Value{Op: Reg(name), Ty: ty}
 }
 
-// Bin emits a binary instruction. Operand types must agree; the builder
-// panics on misuse since its callers are compilers, not users.
+// Bin emits a binary instruction. Operand types must agree; a mismatch
+// is recorded on the builder and returned from Module, so programmatic
+// front-ends (which lower user input) cannot crash their callers.
+// Construction continues with the left operand's type to keep later
+// diagnostics meaningful.
 func (fb *FuncBuilder) Bin(op Opcode, a, b Value) Value {
 	if a.Ty != b.Ty {
-		panic(fmt.Sprintf("tir builder: %s operand types differ: %s vs %s", op, a.Ty, b.Ty))
+		fb.b.errs.Errorf(CodeBuilderType, diag.Pos{File: fb.b.mod.Name},
+			"@%s: %s operand types differ: %s vs %s", fb.f.Name, op, a.Ty, b.Ty)
 	}
 	d := fb.fresh()
 	fb.f.Body = append(fb.f.Body, &BinInstr{Dst: d, Op: op, Ty: a.Ty, A: a.Op, B: b.Op})

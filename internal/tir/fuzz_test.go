@@ -1,0 +1,65 @@
+package tir
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusSeeds feeds every .tirl file under testdata (good corpus and
+// bad corpus alike) plus deliberate mutations of each into the fuzzer,
+// so it starts from inputs that exercise deep parser and checker paths
+// rather than from noise.
+func corpusSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.tirl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	bad, err := filepath.Glob(filepath.Join("testdata", "bad", "*.tirl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	paths = append(paths, bad...)
+	if len(paths) == 0 {
+		f.Fatal("no corpus seeds under testdata")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+		// Cheap structural mutations: truncation, duplication, token
+		// damage. The engine mutates further from these.
+		s := string(src)
+		f.Add(s[:len(s)/2])
+		f.Add(s + s)
+		for _, frag := range []string{"@main", "!0", "ui18", "add"} {
+			f.Add(strings.Replace(s, frag, "?", 1))
+		}
+	}
+}
+
+// FuzzValidate asserts the whole front stage — lexer, parser, Check,
+// Analyze — never panics, whatever bytes arrive. Parser-rejected input
+// must come back as an error, parser-accepted input must flow through
+// both checking layers without crashing.
+func FuzzValidate(f *testing.F) {
+	corpusSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseOnly("fuzz.tirl", src)
+		if err != nil {
+			if m != nil {
+				t.Errorf("ParseOnly returned both a module and error %v", err)
+			}
+			return
+		}
+		// Check and Analyze must always terminate and never panic, even
+		// on degenerate accepted modules.
+		_ = m.Check()
+		_ = m.Analyze()
+		_ = m.Validate()
+	})
+}

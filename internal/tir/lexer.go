@@ -1,9 +1,10 @@
 package tir
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
+
+	"repro/internal/diag"
 )
 
 // tokKind enumerates lexical token kinds of the IR surface syntax.
@@ -50,6 +51,7 @@ type token struct {
 // lexer produces tokens from IR source. Comments run from ';' to end of
 // line, as in LLVM.
 type lexer struct {
+	file string
 	src  string
 	pos  int
 	line int
@@ -58,9 +60,10 @@ type lexer struct {
 }
 
 // lex tokenises the whole input up front; IR files are small so this is
-// simpler and faster than incremental lexing.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src, line: 1, col: 1}
+// simpler and faster than incremental lexing. file names the input in
+// diagnostics.
+func lex(file, src string) ([]token, error) {
+	l := &lexer{file: file, src: src, line: 1, col: 1}
 	for {
 		t, err := l.next()
 		if err != nil {
@@ -73,8 +76,10 @@ func lex(src string) ([]token, error) {
 	}
 }
 
+// errf returns a positioned syntax diagnostic (code TIR001).
 func (l *lexer) errf(format string, args ...any) error {
-	return fmt.Errorf("tir: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+	return diag.New(diag.Error, CodeSyntax,
+		diag.Pos{File: l.file, Line: l.line, Col: l.col}, format, args...)
 }
 
 func (l *lexer) peekByte() byte {

@@ -1,8 +1,9 @@
 package tir
 
 import (
-	"fmt"
 	"strconv"
+
+	"repro/internal/diag"
 )
 
 // Parse parses TyTra-IR source into a Module and validates it. name is
@@ -21,11 +22,11 @@ func Parse(name, src string) (*Module, error) {
 // ParseOnly parses without semantic validation; useful for tests that
 // deliberately construct invalid modules.
 func ParseOnly(name, src string) (*Module, error) {
-	toks, err := lex(src)
+	toks, err := lex(name, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, mod: &Module{Name: name}}
+	p := &parser{file: name, toks: toks, mod: &Module{Name: name}}
 	if err := p.parseModule(); err != nil {
 		return nil, err
 	}
@@ -33,6 +34,7 @@ func ParseOnly(name, src string) (*Module, error) {
 }
 
 type parser struct {
+	file string
 	toks []token
 	pos  int
 	mod  *Module
@@ -48,8 +50,14 @@ func (p *parser) next() token {
 	return t
 }
 
+// at returns the source position of a token.
+func (p *parser) at(t token) diag.Pos {
+	return diag.Pos{File: p.file, Line: t.line, Col: t.col}
+}
+
+// errf returns a positioned syntax diagnostic (code TIR001).
 func (p *parser) errf(t token, format string, args ...any) error {
-	return fmt.Errorf("tir: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+	return diag.New(diag.Error, CodeSyntax, p.at(t), format, args...)
 }
 
 // expect consumes a token of the given kind, or fails.
@@ -165,7 +173,7 @@ func (p *parser) parseManageDecl() error {
 	}
 	switch kindTok.text {
 	case "memobj":
-		mo := &MemObject{Name: nameTok.text, Stride: 1}
+		mo := &MemObject{Name: nameTok.text, Stride: 1, At: p.at(nameTok)}
 		if mo.Elem, err = p.parseType(); err != nil {
 			return err
 		}
@@ -206,7 +214,7 @@ func (p *parser) parseManageDecl() error {
 		p.mod.MemObjects = append(p.mod.MemObjects, mo)
 		return nil
 	case "strobj":
-		so := &StreamObject{Name: nameTok.text}
+		so := &StreamObject{Name: nameTok.text, At: p.at(nameTok)}
 		memTok, err := p.expect(tokLocal)
 		if err != nil {
 			return err
@@ -272,7 +280,7 @@ func (p *parser) parsePortDecl() error {
 	if err := p.expectPunct(")"); err != nil {
 		return err
 	}
-	port := &Port{Name: nameTok.text, AddrSpace: int(space)}
+	port := &Port{Name: nameTok.text, AddrSpace: int(space), At: p.at(nameTok)}
 	if port.Elem, err = p.parseType(); err != nil {
 		return err
 	}
@@ -345,7 +353,7 @@ func (p *parser) parseFunction() error {
 	if err != nil {
 		return err
 	}
-	fn := &Function{Name: nameTok.text, Mode: ModeSeq}
+	fn := &Function{Name: nameTok.text, Mode: ModeSeq, At: p.at(nameTok)}
 	if err := p.expectPunct("("); err != nil {
 		return err
 	}
@@ -363,7 +371,7 @@ func (p *parser) parseFunction() error {
 		if err != nil {
 			return err
 		}
-		fn.Params = append(fn.Params, Param{Name: pn.text, Ty: ty})
+		fn.Params = append(fn.Params, Param{Name: pn.text, Ty: ty, At: p.at(pn)})
 	}
 	if t := p.peek(); t.kind == tokIdent {
 		mode, err := ParseParMode(t.text)
@@ -420,6 +428,7 @@ func (p *parser) parseOperand() (Operand, error) {
 // parseInstr parses one body instruction.
 func (p *parser) parseInstr() (Instr, error) {
 	t := p.peek()
+	start := p.at(t)
 	// call @f(args) mode
 	if t.kind == tokIdent && t.text == "call" {
 		p.next()
@@ -451,7 +460,7 @@ func (p *parser) parseInstr() (Instr, error) {
 		if err != nil {
 			return nil, p.errf(modeTok, "%v", err)
 		}
-		return &CallInstr{Callee: callee.text, Args: args, Mode: mode}, nil
+		return &CallInstr{Callee: callee.text, Args: args, Mode: mode, At: start}, nil
 	}
 
 	// out <type> %port, <val>
@@ -472,7 +481,7 @@ func (p *parser) parseInstr() (Instr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &OutInstr{Port: portTok.text, Ty: ty, Val: val}, nil
+		return &OutInstr{Port: portTok.text, Ty: ty, Val: val, At: start}, nil
 	}
 
 	// All other instructions start with "<type> <dst> = ...".
@@ -507,7 +516,7 @@ func (p *parser) parseInstr() (Instr, error) {
 		if globalDst {
 			return nil, p.errf(dstTok, "const destination must be a local register")
 		}
-		return &ConstInstr{Dst: dstTok.text, Ty: dstTy, Val: v}, nil
+		return &ConstInstr{Dst: dstTok.text, Ty: dstTy, Val: v, At: start}, nil
 
 	case t.kind == tokIdent && t.text == "icmp":
 		p.next()
@@ -536,7 +545,7 @@ func (p *parser) parseInstr() (Instr, error) {
 		if globalDst {
 			return nil, p.errf(dstTok, "icmp destination must be a local register")
 		}
-		return &CmpInstr{Dst: dstTok.text, Pred: predTok.text, Ty: ty, A: a, B: b}, nil
+		return &CmpInstr{Dst: dstTok.text, Pred: predTok.text, Ty: ty, A: a, B: b, At: start}, nil
 
 	case t.kind == tokIdent && t.text == "select":
 		p.next()
@@ -568,7 +577,7 @@ func (p *parser) parseInstr() (Instr, error) {
 		if globalDst {
 			return nil, p.errf(dstTok, "select destination must be a local register")
 		}
-		return &SelectInstr{Dst: dstTok.text, Cond: cond, Ty: ty, A: a, B: b}, nil
+		return &SelectInstr{Dst: dstTok.text, Cond: cond, Ty: ty, A: a, B: b, At: start}, nil
 
 	case t.kind == tokIdent:
 		// Unary or binary opcode.
@@ -590,7 +599,7 @@ func (p *parser) parseInstr() (Instr, error) {
 			if globalDst {
 				return nil, p.errf(dstTok, "unary destination must be a local register")
 			}
-			return &UnInstr{Dst: dstTok.text, Op: op, Ty: ty, A: a}, nil
+			return &UnInstr{Dst: dstTok.text, Op: op, Ty: ty, A: a, At: start}, nil
 		}
 		if err := p.expectPunct(","); err != nil {
 			return nil, err
@@ -599,7 +608,7 @@ func (p *parser) parseInstr() (Instr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BinInstr{Dst: dstTok.text, GlobalDst: globalDst, Op: op, Ty: ty, A: a, B: b}, nil
+		return &BinInstr{Dst: dstTok.text, GlobalDst: globalDst, Op: op, Ty: ty, A: a, B: b, At: start}, nil
 	}
 
 	// Offset instruction: "<type> %dst = <type> %src, !offset, !+N".
@@ -636,5 +645,5 @@ func (p *parser) parseInstr() (Instr, error) {
 	if globalDst {
 		return nil, p.errf(dstTok, "offset destination must be a local register")
 	}
-	return &OffsetInstr{Dst: dstTok.text, Ty: dstTy, Src: src, Offset: off}, nil
+	return &OffsetInstr{Dst: dstTok.text, Ty: dstTy, Src: src, Offset: off, At: start}, nil
 }

@@ -1,181 +1,204 @@
 package tir
 
 import (
-	"fmt"
 	"strings"
+
+	"repro/internal/diag"
 )
 
-// Validate performs the semantic checks of the TyTra compiler front
-// stage: SSA single assignment, def-before-use, type agreement, the
-// Manage-IR / Compute-IR linkage (every port backed by a stream object
-// backed by a memory object), acyclic call hierarchy, and configuration
-// legality (Fig 7: the supported parent/child mode combinations).
-func (m *Module) Validate() error {
+// Check performs the semantic checks of the TyTra compiler front stage:
+// SSA single assignment, def-before-use, type agreement, the Manage-IR /
+// Compute-IR linkage (every port backed by a stream object backed by a
+// memory object), acyclic call hierarchy, and configuration legality
+// (Fig 7: the supported parent/child mode combinations).
+//
+// Unlike a fail-fast validator it collects every finding, each tagged
+// with a stable TIR0xx code and the source position of the offending
+// declaration, so a single run of tytravet reports the whole state of a
+// design.
+func (m *Module) Check() diag.List {
+	var l diag.List
+	modPos := diag.Pos{File: m.Name}
 	if len(m.Funcs) == 0 {
-		return fmt.Errorf("tir: module %s has no functions", m.Name)
-	}
-	if m.Main() == nil {
-		return fmt.Errorf("tir: module %s has no @main entry function", m.Name)
+		l.Errorf(CodeNoFunctions, modPos, "module %s has no functions", m.Name)
+	} else if m.Main() == nil {
+		l.Errorf(CodeNoMain, modPos, "module %s has no @main entry function", m.Name)
 	}
 
 	// Manage-IR linkage.
 	memNames := map[string]bool{}
 	for _, mo := range m.MemObjects {
 		if memNames[mo.Name] {
-			return fmt.Errorf("tir: duplicate memory object %%%s", mo.Name)
+			l.Errorf(CodeDupMem, mo.At, "duplicate memory object %%%s", mo.Name)
 		}
 		memNames[mo.Name] = true
 		if mo.Size <= 0 {
-			return fmt.Errorf("tir: memory object %%%s has non-positive size %d", mo.Name, mo.Size)
+			l.Errorf(CodeMemSize, mo.At, "memory object %%%s has non-positive size %d", mo.Name, mo.Size)
 		}
 		if !mo.Elem.Valid() {
-			return fmt.Errorf("tir: memory object %%%s has invalid element type", mo.Name)
+			l.Errorf(CodeBadType, mo.At, "memory object %%%s has invalid element type", mo.Name)
 		}
 		if mo.Pattern == PatternStrided && mo.Stride <= 0 {
-			return fmt.Errorf("tir: strided memory object %%%s needs a positive stride", mo.Name)
+			l.Errorf(CodeBadStride, mo.At, "strided memory object %%%s needs a positive stride", mo.Name)
 		}
 	}
 	strNames := map[string]*StreamObject{}
 	for _, so := range m.Streams {
 		if _, dup := strNames[so.Name]; dup {
-			return fmt.Errorf("tir: duplicate stream object %%%s", so.Name)
+			l.Errorf(CodeDupStream, so.At, "duplicate stream object %%%s", so.Name)
+			continue
 		}
 		strNames[so.Name] = so
 		if !memNames[so.Mem] {
-			return fmt.Errorf("tir: stream object %%%s references unknown memory object %%%s", so.Name, so.Mem)
+			l.Errorf(CodeUnknownMem, so.At, "stream object %%%s references unknown memory object %%%s", so.Name, so.Mem)
 		}
 	}
 	portNames := map[string]bool{}
 	for _, p := range m.Ports {
 		if portNames[p.Name] {
-			return fmt.Errorf("tir: duplicate port @%s", p.Name)
+			l.Errorf(CodeDupPort, p.At, "duplicate port @%s", p.Name)
 		}
 		portNames[p.Name] = true
 		if !p.Elem.Valid() {
-			return fmt.Errorf("tir: port @%s has invalid element type", p.Name)
+			l.Errorf(CodeBadType, p.At, "port @%s has invalid element type", p.Name)
 		}
-		so, ok := strNames[p.Stream]
-		if !ok {
-			return fmt.Errorf("tir: port @%s references unknown stream object %q", p.Name, p.Stream)
-		}
-		if so.Dir != p.Dir {
-			return fmt.Errorf("tir: port @%s direction %s disagrees with stream %%%s direction %s",
+		if so, ok := strNames[p.Stream]; !ok {
+			l.Errorf(CodeUnknownStr, p.At, "port @%s references unknown stream object %q", p.Name, p.Stream)
+		} else if so.Dir != p.Dir {
+			l.Errorf(CodeDirMismatch, p.At, "port @%s direction %s disagrees with stream %%%s direction %s",
 				p.Name, p.Dir, so.Name, so.Dir)
 		}
 		if p.Pattern == PatternStrided && p.Stride <= 0 {
-			return fmt.Errorf("tir: strided port @%s needs a positive stride", p.Name)
+			l.Errorf(CodeBadStride, p.At, "strided port @%s needs a positive stride", p.Name)
 		}
 	}
 
-	// Function-level checks.
+	// Function-level checks. First definition wins on duplicates so that
+	// body checks still run against a consistent table.
 	fnNames := map[string]*Function{}
+	linkOK := m.Main() != nil
 	for _, f := range m.Funcs {
 		if _, dup := fnNames[f.Name]; dup {
-			return fmt.Errorf("tir: duplicate function @%s", f.Name)
+			l.Errorf(CodeDupFunc, f.At, "duplicate function @%s", f.Name)
+			linkOK = false
+			continue
 		}
 		fnNames[f.Name] = f
 	}
 	for _, f := range m.Funcs {
-		if err := m.validateBody(f, fnNames); err != nil {
-			return err
-		}
-	}
-
-	// Acyclic call hierarchy reachable from main.
-	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
-	var visit func(name string, chain []string) error
-	visit = func(name string, chain []string) error {
-		switch state[name] {
-		case 1:
-			return fmt.Errorf("tir: recursive call cycle: %s -> %s", strings.Join(chain, " -> "), name)
-		case 2:
-			return nil
-		}
-		state[name] = 1
-		f := fnNames[name]
+		m.checkBody(f, fnNames, &l)
 		for _, c := range f.Calls() {
 			if _, ok := fnNames[c.Callee]; !ok {
-				return fmt.Errorf("tir: @%s calls unknown function @%s", name, c.Callee)
-			}
-			if err := visit(c.Callee, append(chain, name)); err != nil {
-				return err
+				linkOK = false
 			}
 		}
-		state[name] = 2
-		return nil
-	}
-	if err := visit("main", nil); err != nil {
-		return err
 	}
 
-	// Configuration legality per Fig 7.
-	if _, err := m.ConfigTree(); err != nil {
-		return err
+	// Acyclic call hierarchy reachable from main. Unknown callees were
+	// already reported per call site; visit just skips them.
+	recursive := false
+	if m.Main() != nil {
+		state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+		var visit func(name string, chain []string)
+		visit = func(name string, chain []string) {
+			switch state[name] {
+			case 1:
+				recursive = true
+				l.Errorf(CodeRecursion, fnNames[name].At,
+					"recursive call cycle: %s -> %s", strings.Join(chain, " -> "), name)
+				return
+			case 2:
+				return
+			}
+			state[name] = 1
+			for _, c := range fnNames[name].Calls() {
+				if _, ok := fnNames[c.Callee]; ok {
+					visit(c.Callee, append(chain, name))
+				}
+			}
+			state[name] = 2
+		}
+		visit("main", nil)
 	}
-	return nil
+
+	// Configuration legality per Fig 7. The tree builder recurses
+	// through resolved callees, so it only runs on sound linkage.
+	if linkOK && !recursive {
+		if _, err := m.ConfigTree(); err != nil {
+			l.Add(diag.AsList(err, CodeParStructure)...)
+		}
+	}
+	l.Sort()
+	return l
 }
 
-// validateBody checks SSA discipline and operand visibility inside one
+// Validate reports the first-error view of Check, preserving the plain
+// error API: nil when the module is legal (warnings do not count).
+func (m *Module) Validate() error {
+	return m.Check().ErrOrNil()
+}
+
+// checkBody checks SSA discipline and operand visibility inside one
 // function. Visible names are the function parameters and prior
 // definitions; global accumulators (@x) are visible everywhere and may
 // be read and re-accumulated but not used as plain locals.
-func (m *Module) validateBody(f *Function, fns map[string]*Function) error {
+func (m *Module) checkBody(f *Function, fns map[string]*Function, l *diag.List) {
 	defined := map[string]Type{}
 	paramTypes := map[string]Type{}
 	outBound := map[string]bool{}
 	for _, p := range f.Params {
 		paramTypes[p.Name] = p.Ty
 		if !p.Ty.Valid() {
-			return fmt.Errorf("tir: @%s: parameter %%%s has invalid type", f.Name, p.Name)
+			l.Errorf(CodeBadType, p.At, "@%s: parameter %%%s has invalid type", f.Name, p.Name)
 		}
 		if _, dup := defined[p.Name]; dup {
-			return fmt.Errorf("tir: @%s: duplicate parameter %%%s", f.Name, p.Name)
+			l.Errorf(CodeDupParam, p.At, "@%s: duplicate parameter %%%s", f.Name, p.Name)
 		}
 		defined[p.Name] = p.Ty
 	}
-	define := func(name string, ty Type) error {
+	define := func(at diag.Pos, name string, ty Type) {
 		if name == "" {
-			return nil
+			return
 		}
 		if _, dup := defined[name]; dup {
-			return fmt.Errorf("tir: @%s: SSA violation: %%%s assigned twice", f.Name, name)
+			l.Errorf(CodeSSA, at, "@%s: SSA violation: %%%s assigned twice", f.Name, name)
+			return
 		}
 		defined[name] = ty
-		return nil
 	}
-	checkUse := func(o Operand) error {
+	checkUse := func(at diag.Pos, o Operand) {
 		switch o.Kind {
 		case OpReg:
 			if _, ok := defined[o.Name]; !ok {
-				return fmt.Errorf("tir: @%s: use of undefined value %%%s", f.Name, o.Name)
+				l.Errorf(CodeUndefined, at, "@%s: use of undefined value %%%s", f.Name, o.Name)
 			}
 		case OpGlobal, OpImm:
 			// Globals are module-level accumulators, always visible.
 		}
-		return nil
 	}
 
 	hasDatapath := false
 	for _, in := range f.Body {
+		at := in.Pos()
 		if _, isCall := in.(*CallInstr); !isCall {
 			for _, u := range in.Uses() {
-				if err := checkUse(u); err != nil {
-					return err
-				}
+				checkUse(at, u)
 			}
 		}
 		switch it := in.(type) {
 		case *CallInstr:
 			callee, ok := fns[it.Callee]
 			if !ok {
-				return fmt.Errorf("tir: @%s calls unknown function @%s", f.Name, it.Callee)
+				l.Errorf(CodeUnknownCallee, at, "@%s calls unknown function @%s", f.Name, it.Callee)
+				continue
 			}
 			if len(it.Args) != len(callee.Params) {
-				return fmt.Errorf("tir: @%s: call @%s with %d args, want %d",
+				l.Errorf(CodeArity, at, "@%s: call @%s with %d args, want %d",
 					f.Name, it.Callee, len(it.Args), len(callee.Params))
+				continue
 			}
 			if it.Mode != callee.Mode {
-				return fmt.Errorf("tir: @%s: call @%s with mode %s, function is %s",
+				l.Errorf(CodeCallMode, at, "@%s: call @%s with mode %s, function is %s",
 					f.Name, it.Callee, it.Mode, callee.Mode)
 			}
 			// A comb child is a custom combinatorial block inlined in the
@@ -188,40 +211,34 @@ func (m *Module) validateBody(f *Function, fns map[string]*Function) error {
 				for k, a := range it.Args {
 					if a.Kind != OpReg {
 						if a.Kind == OpImm && outs[callee.Params[k].Name] {
-							return fmt.Errorf("tir: @%s: call @%s drives an immediate operand", f.Name, it.Callee)
+							l.Errorf(CodeCombDrivesImm, at, "@%s: call @%s drives an immediate operand", f.Name, it.Callee)
 						}
 						continue
 					}
 					if outs[callee.Params[k].Name] {
-						if err := define(a.Name, callee.Params[k].Ty); err != nil {
-							return err
-						}
-					} else if err := checkUse(a); err != nil {
-						return err
+						define(at, a.Name, callee.Params[k].Ty)
+					} else {
+						checkUse(at, a)
 					}
 				}
 			}
 		case *OffsetInstr:
 			hasDatapath = true
 			if it.Src.Kind == OpImm {
-				return fmt.Errorf("tir: @%s: offset source must be a stream value", f.Name)
+				l.Errorf(CodeBadOffset, at, "@%s: offset source must be a stream value", f.Name)
 			}
 			if it.Offset == 0 {
-				return fmt.Errorf("tir: @%s: offset of 0 is meaningless for %%%s", f.Name, it.Dst)
+				l.Errorf(CodeBadOffset, at, "@%s: offset of 0 is meaningless for %%%s", f.Name, it.Dst)
 			}
-			if err := define(it.Dst, it.Ty); err != nil {
-				return err
-			}
+			define(at, it.Dst, it.Ty)
 		case *ConstInstr:
 			hasDatapath = true
-			if err := define(it.Dst, it.Ty); err != nil {
-				return err
-			}
+			define(at, it.Dst, it.Ty)
 		case *BinInstr:
 			hasDatapath = true
 			info := it.Op.Info()
 			if info.Float != it.Ty.IsFloat() {
-				return fmt.Errorf("tir: @%s: opcode %s applied to type %s", f.Name, it.Op, it.Ty)
+				l.Errorf(CodeOpcodeType, at, "@%s: opcode %s applied to type %s", f.Name, it.Op, it.Ty)
 			}
 			if it.GlobalDst {
 				// Reduction idiom: destination accumulator must also be
@@ -233,46 +250,41 @@ func (m *Module) validateBody(f *Function, fns map[string]*Function) error {
 					}
 				}
 				if !reads {
-					return fmt.Errorf("tir: @%s: global @%s written without accumulation", f.Name, it.Dst)
+					l.Errorf(CodeAccNoRead, at, "@%s: global @%s written without accumulation", f.Name, it.Dst)
 				}
-			} else if err := define(it.Dst, it.Ty); err != nil {
-				return err
+			} else {
+				define(at, it.Dst, it.Ty)
 			}
 		case *UnInstr:
 			hasDatapath = true
 			info := it.Op.Info()
 			if info.Float != it.Ty.IsFloat() {
-				return fmt.Errorf("tir: @%s: opcode %s applied to type %s", f.Name, it.Op, it.Ty)
+				l.Errorf(CodeOpcodeType, at, "@%s: opcode %s applied to type %s", f.Name, it.Op, it.Ty)
 			}
-			if err := define(it.Dst, it.Ty); err != nil {
-				return err
-			}
+			define(at, it.Dst, it.Ty)
 		case *CmpInstr:
 			hasDatapath = true
-			if err := define(it.Dst, UIntT(1)); err != nil {
-				return err
-			}
+			define(at, it.Dst, UIntT(1))
 		case *SelectInstr:
 			hasDatapath = true
-			if err := define(it.Dst, it.Ty); err != nil {
-				return err
-			}
+			define(at, it.Dst, it.Ty)
 		case *OutInstr:
 			hasDatapath = true
 			pty, ok := paramTypes[it.Port]
 			if !ok {
-				return fmt.Errorf("tir: @%s: out to %%%s which is not a parameter", f.Name, it.Port)
+				l.Errorf(CodeBadOut, at, "@%s: out to %%%s which is not a parameter", f.Name, it.Port)
+				continue
 			}
 			if pty != it.Ty {
-				return fmt.Errorf("tir: @%s: out to %%%s with type %s, parameter is %s",
+				l.Errorf(CodeBadOut, at, "@%s: out to %%%s with type %s, parameter is %s",
 					f.Name, it.Port, it.Ty, pty)
 			}
 			if outBound[it.Port] {
-				return fmt.Errorf("tir: @%s: output port %%%s bound twice", f.Name, it.Port)
+				l.Errorf(CodeBadOut, at, "@%s: output port %%%s bound twice", f.Name, it.Port)
 			}
 			outBound[it.Port] = true
 		default:
-			return fmt.Errorf("tir: @%s: unknown instruction %T", f.Name, in)
+			l.Errorf(CodeUnknownInstr, at, "@%s: unknown instruction %T", f.Name, in)
 		}
 	}
 
@@ -280,19 +292,19 @@ func (m *Module) validateBody(f *Function, fns map[string]*Function) error {
 	switch f.Mode {
 	case ModePar:
 		if hasDatapath {
-			return fmt.Errorf("tir: @%s: par functions may only contain calls", f.Name)
+			l.Errorf(CodeParStructure, f.At, "@%s: par functions may only contain calls", f.Name)
 		}
 		for _, c := range f.Calls() {
 			if c.Mode != ModePipe {
-				return fmt.Errorf("tir: @%s: par functions replicate pipe children, found %s", f.Name, c.Mode)
+				l.Errorf(CodeParStructure, c.Pos(), "@%s: par functions replicate pipe children, found %s", f.Name, c.Mode)
 			}
 		}
 	case ModeComb:
-		for range f.Calls() {
-			return fmt.Errorf("tir: @%s: comb functions must be pure datapath (no calls)", f.Name)
+		for _, c := range f.Calls() {
+			l.Errorf(CodeCombStructure, c.Pos(), "@%s: comb functions must be pure datapath (no calls)", f.Name)
+			break
 		}
 	}
-	return nil
 }
 
 // ConfigNode is one node of the configuration tree the compiler extracts
@@ -344,7 +356,8 @@ func (c Config) String() string {
 }
 
 // ConfigTree builds the configuration tree rooted at @main and verifies
-// that the composition is one the compiler supports.
+// that the composition is one the compiler supports. Callers must have
+// checked linkage (callees resolve, no recursion) first; Check does.
 func (m *Module) ConfigTree() (*ConfigNode, error) {
 	fns := map[string]*Function{}
 	for _, f := range m.Funcs {
@@ -363,12 +376,14 @@ func (m *Module) ConfigTree() (*ConfigNode, error) {
 		if f.Mode == ModePar {
 			n.Lanes = len(n.Children)
 			if n.Lanes == 0 {
-				return nil, fmt.Errorf("tir: @%s: par function with no lanes", f.Name)
+				return nil, diag.New(diag.Error, CodeParStructure, f.At,
+					"@%s: par function with no lanes", f.Name)
 			}
 			first := n.Children[0].Func.Name
 			for _, c := range n.Children[1:] {
 				if c.Func.Name != first {
-					return nil, fmt.Errorf("tir: @%s: par lanes must replicate one kernel (found @%s and @%s)",
+					return nil, diag.New(diag.Error, CodeParStructure, f.At,
+						"@%s: par lanes must replicate one kernel (found @%s and @%s)",
 						f.Name, first, c.Func.Name)
 				}
 			}
