@@ -17,12 +17,16 @@
 // report; -report selects which one. "pipesim" (the default) times the
 // golden kernels through the interpreter oracle, the compile-per-call
 // executor and the compile-once Runner; "dse-sim" times one cold
-// variant evaluation per DSE scorer (model, sim, hybrid); "dse-strat"
-// records the strategy comparison — deterministic, so the committed
-// baseline only changes when search behaviour does:
+// variant evaluation per DSE scorer (model, sim, hybrid); "dse-model"
+// times the compiled cost model against the tree-walk oracle per
+// corpus kernel plus the engine's 100k-point synthetic sweep
+// throughput; "dse-strat" records the strategy comparison —
+// deterministic, so the committed baseline only changes when search
+// behaviour does:
 //
 //	tytrabench -json > BENCH_PIPESIM.json
 //	tytrabench -json -report dse-sim > BENCH_DSE_SIM.json
+//	tytrabench -json -report dse-model > BENCH_DSE_MODEL.json
 //	tytrabench -json -report dse-strat > BENCH_DSE_STRAT.json
 //
 // -cpuprofile and -memprofile wrap any of the above in the standard
@@ -58,7 +62,7 @@ func run(args []string, out io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	full := fs.Bool("full", true, "use the paper-scale workloads (slower)")
 	jsonOut := fs.Bool("json", false, "emit a benchmark report as JSON (see -report)")
-	jsonReport := fs.String("report", "pipesim", "which -json report: pipesim (BENCH_PIPESIM.json) | dse-sim (BENCH_DSE_SIM.json) | dse-strat (BENCH_DSE_STRAT.json)")
+	jsonReport := fs.String("report", "pipesim", "which -json report: pipesim (BENCH_PIPESIM.json) | dse-sim (BENCH_DSE_SIM.json) | dse-model (BENCH_DSE_MODEL.json) | dse-strat (BENCH_DSE_STRAT.json)")
 	benchTime := fs.Duration("benchtime", 0, "per-measurement time budget for -json (0 = default)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected run to this file (inspect with `go tool pprof`)")
 	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file (inspect with `go tool pprof`)")
@@ -106,6 +110,12 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, r.JSON())
+		case "dse-model":
+			r, err := experiments.DSEModelBench(*benchTime)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, r.JSON())
 		case "dse-strat":
 			r, err := experiments.DSEStrat(0, 0)
 			if err != nil {
@@ -113,7 +123,7 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprint(out, r.JSON())
 		default:
-			return fmt.Errorf("unknown -report %q (have: pipesim, dse-sim, dse-strat)", *jsonReport)
+			return fmt.Errorf("unknown -report %q (have: pipesim, dse-sim, dse-model, dse-strat)", *jsonReport)
 		}
 		return nil
 	}

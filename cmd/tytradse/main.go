@@ -8,8 +8,8 @@
 //
 //	tytradse [-kernel sor] [-target stratix-v-gsd8-edu] [-maxlanes 16] [-form A|B|C] [-nki 10]
 //	         [-strategy exhaustive|wall-pruned|pareto|hillclimb|anneal] [-budget N] [-seed N]
-//	         [-eval model|sim|hybrid] [-simexec batched|nofuse|scalar] [-j N] [-csv]
-//	         [-devices name,name,...] [-cache DIR]
+//	         [-eval model|sim|hybrid] [-modeleval compiled|tree] [-simexec batched|nofuse|scalar]
+//	         [-j N] [-csv] [-devices name,name,...] [-cache DIR]
 //
 // The -strategy flag selects the exploration strategy from the dse
 // strategy registry (the flag help lists exactly what parses):
@@ -31,6 +31,13 @@
 // "hybrid" ranks by the model while recording the simulated cycles,
 // printing the per-variant model/sim calibration table under the
 // sweep.
+//
+// The -modeleval flag selects the cost-model implementation under any
+// -eval mode: "compiled" (the default) prices variants through the
+// flat estimate program costmodel.Compile builds once per (kernel,
+// device), "tree" walks the original recursive estimator. The two are
+// pinned bit-identical, so this is purely a speed knob — "tree" exists
+// as the differential oracle.
 //
 // -devices sweeps the variant family across a shelf of targets in one
 // lanes×device engine run instead of a single -target: the cost and
@@ -82,6 +89,7 @@ type options struct {
 	kernel   string
 	form     perf.Form
 	mode     dse.EvalMode
+	emode    dse.ModelEvalMode
 	strategy dse.Strategy
 	search   dse.SearchOptions
 	exec     pipesim.Config
@@ -94,7 +102,9 @@ type options struct {
 
 // simConfig is the simulation-measurement configuration both the
 // single- and multi-device paths hand to the sim-backed evaluators.
-func (o options) simConfig() dse.SimConfig { return dse.SimConfig{Exec: o.exec} }
+func (o options) simConfig() dse.SimConfig {
+	return dse.SimConfig{Exec: o.exec, ModelEval: o.emode}
+}
 
 // showSearch reports whether the run's search provenance (trajectory
 // table + summary line) should be printed: always for an adaptive
@@ -119,6 +129,9 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Int("budget", 0, "max design-point evaluations the search may charge (0 = unlimited)")
 	seed := fs.Int64("seed", 0, "search RNG seed for the adaptive strategies (0 = default seed 1)")
 	evalName := fs.String("eval", "model", "variant scorer (model | sim | hybrid)")
+	modelEval := fs.String("modeleval", "compiled",
+		fmt.Sprintf("cost-model implementation (%s) — estimates are bit-identical, only the evaluation speed changes",
+			strings.Join(dse.ModelEvalNames(), " | ")))
 	simExec := fs.String("simexec", "batched",
 		fmt.Sprintf("simulator executor level for -eval sim|hybrid (%s) — results are bit-identical at every level, only the measurement speed changes",
 			strings.Join(pipesim.ExecLevelNames(), " | ")))
@@ -138,6 +151,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	emode, err := dse.ParseModelEval(*modelEval)
+	if err != nil {
+		return err
+	}
 	form, err := perf.ParseForm(*formName)
 	if err != nil {
 		return err
@@ -152,7 +169,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	opt := options{kernel: *kernel, form: form, mode: mode, strategy: st,
+	opt := options{kernel: *kernel, form: form, mode: mode, emode: emode, strategy: st,
 		search: dse.SearchOptions{Budget: dse.Budget{MaxEvals: *budget}, Seed: *seed},
 		exec:   exec, nki: *nki, maxLanes: *maxLanes, jobs: *jobs, csv: *csv, store: store}
 

@@ -1,0 +1,180 @@
+package costmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/tir"
+)
+
+// compileCorpus is the kernel corpus the compiled-vs-oracle
+// differential sweeps: the three scientific kernels at several lane
+// counts, plus the float SOR variant (exercising the fixed-format
+// float op costs).
+func compileCorpus(t testing.TB) map[string]*tir.Module {
+	t.Helper()
+	specs := map[string]interface {
+		Module() (*tir.Module, error)
+	}{
+		"sor-l1":     kernels.DefaultSOR(),
+		"sor-l4":     kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 4},
+		"sor-l16":    kernels.SORSpec{IM: 15, JM: 10, KM: 16, Lanes: 16},
+		"hotspot-l1": kernels.DefaultHotspot(),
+		"hotspot-l8": kernels.HotspotSpec{Rows: 384, Cols: 682, Lanes: 8},
+		"lavamd-l1":  kernels.DefaultLavaMD(),
+		"lavamd-l2":  kernels.LavaMDSpec{Pairs: 96, Lanes: 2},
+		"sorf32-l1":  kernels.DefaultSORF32(),
+	}
+	mods := make(map[string]*tir.Module, len(specs))
+	for name, spec := range specs {
+		m, err := spec.Module()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mods[name] = m
+	}
+	return mods
+}
+
+// TestCompiledMatchesOracle pins the flat estimate program bit-identical
+// to the tree-walk oracle: corpus × dv × devices, compared field by
+// field with DeepEqual.
+func TestCompiledMatchesOracle(t *testing.T) {
+	targets := []*device.Target{device.StratixVGSD8(), device.Virtex7690T(), device.GSD8Edu()}
+	dvs := []int{1, 2, 3, 4, 5, 8, 13, 25}
+	mods := compileCorpus(t)
+	for _, tgt := range targets {
+		mdl, err := Calibrate(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, m := range mods {
+			cm, err := mdl.Compile(m)
+			if err != nil {
+				t.Fatalf("%s on %s: Compile: %v", name, tgt.Name, err)
+			}
+			for _, dv := range dvs {
+				want, err := mdl.EstimateVectorised(m, dv)
+				if err != nil {
+					t.Fatalf("%s on %s dv=%d: oracle: %v", name, tgt.Name, dv, err)
+				}
+				got, err := cm.EstimateVectorised(dv)
+				if err != nil {
+					t.Fatalf("%s on %s dv=%d: compiled: %v", name, tgt.Name, dv, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s on %s dv=%d: compiled estimate diverges from oracle:\n got %+v\nwant %+v",
+						name, tgt.Name, dv, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledRejectsInvalidDV mirrors the oracle's dv validation.
+func TestCompiledRejectsInvalidDV(t *testing.T) {
+	mdl, err := Calibrate(device.StratixVGSD8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernels.DefaultSOR().Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := mdl.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.EstimateVectorised(0); err == nil {
+		t.Error("dv=0 accepted")
+	}
+}
+
+// TestCompileRejectsInvalidModule mirrors the oracle's validation.
+func TestCompileRejectsInvalidModule(t *testing.T) {
+	mdl, err := Calibrate(device.StratixVGSD8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdl.Compile(&tir.Module{Name: "empty"}); err == nil {
+		t.Error("empty module accepted")
+	}
+}
+
+// TestCompiledEstimateAllocs caps the steady-state allocation cost of
+// the compiled path: one Estimate per call, nothing else (the issue's
+// <=2 allocs/variant acceptance bound).
+func TestCompiledEstimateAllocs(t *testing.T) {
+	mdl, err := Calibrate(device.StratixVGSD8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernels.DefaultSOR().Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := mdl.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		dv = dv%8 + 1
+		if _, err := cm.EstimateVectorised(dv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("compiled EstimateVectorised allocates %.1f objects/variant, want <= 2", allocs)
+	}
+}
+
+// BenchmarkCompiledEstimate prices the compiled path against the
+// tree-walk oracle on the Fig 15 kernel. The warm sub-benchmark is the
+// per-variant steady state the DSE engine pays; cold includes the
+// one-time Compile.
+func BenchmarkCompiledEstimate(b *testing.B) {
+	mdl, err := Calibrate(device.StratixVGSD8())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := kernels.DefaultSOR().Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mdl.EstimateVectorised(m, i%8+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cm, err := mdl.Compile(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cm.EstimateVectorised(i%8 + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-warm", func(b *testing.B) {
+		cm, err := mdl.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cm.EstimateVectorised(i%8 + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -12,10 +12,9 @@ import (
 // "resource estimates" output of Fig 2 plus the structural parameters of
 // Table I that are read off the IR (NI, KPD, Noff, KNL).
 type Estimate struct {
-	Module  *tir.Module
-	Target  *device.Target
-	Used    device.Resources
-	PerFunc map[string]device.Resources // one lane of each function
+	Module *tir.Module
+	Target *device.Target
+	Used   device.Resources
 
 	// KPD is the kernel pipeline depth: cycles from a work-item entering
 	// the lane to its results committing (Table I).
@@ -129,14 +128,13 @@ func (mdl *Model) EstimateVectorised(m *tir.Module, dv int) (*Estimate, error) {
 		return nil, err
 	}
 	est := &Estimate{
-		Module:  m,
-		Target:  mdl.Target,
-		PerFunc: map[string]device.Resources{},
-		Lanes:   m.Lanes(),
-		DV:      dv,
-		NTO:     1,
-		FmaxHz:  mdl.Target.FmaxHz,
-		Config:  cfg,
+		Module: m,
+		Target: mdl.Target,
+		Lanes:  m.Lanes(),
+		DV:     dv,
+		NTO:    1,
+		FmaxHz: mdl.Target.FmaxHz,
+		Config: cfg,
 	}
 
 	// Hardware instance counts implied by the call tree.
@@ -179,7 +177,6 @@ func (mdl *Model) EstimateVectorised(m *tir.Module, dv int) (*Estimate, error) {
 				Regs:  mdl.ParNodeRegs + mdl.ParCallRegs*calls,
 			}
 		}
-		est.PerFunc[f.Name] = r
 		total = total.Add(r.Scale(n))
 	}
 	// Design-level constant: clock/reset distribution and the host

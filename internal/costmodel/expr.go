@@ -1,13 +1,32 @@
 package costmodel
 
+import "math"
+
 // Expr is a fitted scalar cost expression in one variable (the operand
 // bit-width). Polynomial and PiecewiseLinear both satisfy it, so the
 // calibrator can pick whichever family matches an operator's observed
 // behaviour (§V-A: "simple first or second order expressions").
+//
+// Every family's EvalInt is the same projection of its Eval:
+// roundNonNeg(Eval(x)) — nearest integer, clamped at zero. The
+// cross-family consistency test pins all implementations to it.
 type Expr interface {
 	Eval(x float64) float64
 	EvalInt(x float64) int
 	String() string
+}
+
+// roundNonNeg converts a fitted cost to an integer resource count: the
+// nearest integer, clamped to zero (a fit can dip negative outside its
+// calibrated range, but hardware cannot refund resources). All EvalInt
+// implementations must go through this one helper so the Expr families
+// cannot drift apart in their rounding.
+func roundNonNeg(v float64) int {
+	n := int(math.Round(v))
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // ConstExpr is a width-independent cost (e.g. float units, whose size is
@@ -17,12 +36,7 @@ type ConstExpr float64
 // Eval returns the constant.
 func (c ConstExpr) Eval(float64) float64 { return float64(c) }
 
-// EvalInt returns the constant rounded down to a non-negative int.
-func (c ConstExpr) EvalInt(float64) int {
-	if c < 0 {
-		return 0
-	}
-	return int(float64(c) + 0.5)
-}
+// EvalInt returns the constant rounded to the nearest non-negative int.
+func (c ConstExpr) EvalInt(float64) int { return roundNonNeg(float64(c)) }
 
 func (c ConstExpr) String() string { return Polynomial{Coeffs: []float64{float64(c)}}.String() }

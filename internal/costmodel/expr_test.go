@@ -1,0 +1,63 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExprEvalIntConsistency pins every Expr family to the one rounding
+// rule: EvalInt(x) == round-to-nearest of Eval(x), clamped at zero.
+// ConstExpr historically documented round-down while implementing
+// round-half-up; all families now share roundNonNeg.
+func TestExprEvalIntConsistency(t *testing.T) {
+	pwl, err := NewPiecewiseLinear(
+		[]float64{4, 18, 18, 32, 64},
+		[]float64{-3.2, 8.5, 12.4, 30.5, 61.49},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := map[string]Expr{
+		"const-negative":   ConstExpr(-7.3),
+		"const-zero":       ConstExpr(0),
+		"const-fraction":   ConstExpr(41.5),
+		"const-below-half": ConstExpr(41.49),
+		"poly-quadratic":   Polynomial{Coeffs: []float64{-10.6, 3.7, 1}},
+		"poly-negative":    Polynomial{Coeffs: []float64{5, -2}},
+		"poly-empty":       Polynomial{},
+		"pwl":              pwl,
+	}
+	xs := []float64{0, 0.5, 1, 2, 3.7, 4, 17.5, 18, 19, 31.9, 32, 63, 64, 100}
+	for name, e := range exprs {
+		for _, x := range xs {
+			want := int(math.Round(e.Eval(x)))
+			if want < 0 {
+				want = 0
+			}
+			if got := e.EvalInt(x); got != want {
+				t.Errorf("%s: EvalInt(%v) = %d, want round-clamped Eval = %d (Eval = %v)",
+					name, x, got, want, e.Eval(x))
+			}
+		}
+	}
+}
+
+// TestRoundNonNeg pins the shared helper itself.
+func TestRoundNonNeg(t *testing.T) {
+	cases := map[float64]int{
+		-5:    0,
+		-0.4:  0,
+		0:     0,
+		0.49:  0,
+		0.5:   1,
+		1.49:  1,
+		1.5:   2,
+		2.5:   3, // math.Round: half away from zero, not banker's
+		100.7: 101,
+	}
+	for in, want := range cases {
+		if got := roundNonNeg(in); got != want {
+			t.Errorf("roundNonNeg(%v) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -29,13 +29,7 @@ func (p Polynomial) Eval(x float64) float64 {
 }
 
 // EvalInt evaluates and rounds to a non-negative integer resource count.
-func (p Polynomial) EvalInt(x float64) int {
-	v := int(math.Round(p.Eval(x)))
-	if v < 0 {
-		v = 0
-	}
-	return v
-}
+func (p Polynomial) EvalInt(x float64) int { return roundNonNeg(p.Eval(x)) }
 
 // String renders the polynomial for reports, e.g. "x^2 + 3.7x - 10.6".
 func (p Polynomial) String() string {
@@ -221,13 +215,7 @@ func (p PiecewiseLinear) String() string {
 }
 
 // EvalInt evaluates and rounds to a non-negative integer.
-func (p PiecewiseLinear) EvalInt(x float64) int {
-	v := int(math.Round(p.Eval(x)))
-	if v < 0 {
-		v = 0
-	}
-	return v
-}
+func (p PiecewiseLinear) EvalInt(x float64) int { return roundNonNeg(p.Eval(x)) }
 
 // StepFunc is a non-decreasing step model used for DSP-element counts:
 // thresholds[i] is the largest x mapped to values[i].

@@ -107,10 +107,10 @@ func (st HillClimb) start(sc *Search) (searcher, error) {
 	// The probe set: the centre plus seeded uniform draws, deduplicated.
 	// The draw loop is bounded so a tiny space cannot spin it forever.
 	space := sc.Space()
-	seen := map[string]bool{}
+	seen := map[int]bool{}
 	var wave []Variant
 	add := func(v Variant) {
-		key := space.Key(v)
+		key := space.Index(v)
 		if !seen[key] {
 			seen[key] = true
 			wave = append(wave, v)
@@ -139,10 +139,10 @@ func (r *hillClimbRun) ask(sc *Search) ([]Variant, error) {
 	}
 	// One wave per round: the union of every climber's neighbourhood.
 	var wave []Variant
-	seen := map[string]bool{}
+	seen := map[int]bool{}
 	for _, cur := range r.climbers {
 		for _, n := range neighbours(sc.Space(), cur) {
-			key := sc.Space().Key(n)
+			key := sc.Space().Index(n)
 			if !seen[key] {
 				seen[key] = true
 				wave = append(wave, n)
@@ -195,7 +195,7 @@ func (r *hillClimbRun) seed(sc *Search, wave []Outcome) {
 // another climber already holds).
 func (r *hillClimbRun) climb(sc *Search) {
 	var next []Variant
-	held := map[string]bool{}
+	held := map[int]bool{}
 	for _, cur := range r.climbers {
 		curScore := searchScore(sc.Lookup(cur))
 		moved := cur
@@ -208,7 +208,7 @@ func (r *hillClimbRun) climb(sc *Search) {
 		if bestScore <= curScore {
 			continue // local optimum: this climber is done
 		}
-		key := sc.Space().Key(moved)
+		key := sc.Space().Index(moved)
 		if held[key] {
 			continue // merged with another climber
 		}
@@ -290,7 +290,7 @@ func (r *annealRun) ask(sc *Search) ([]Variant, error) {
 	// and with it the whole walk — is reproducible.
 	r.proposed = make([]Variant, len(r.current))
 	var wave []Variant
-	seen := map[string]bool{}
+	seen := map[int]bool{}
 	for i, cur := range r.current {
 		ns := neighbours(sc.Space(), cur)
 		if len(ns) == 0 {
@@ -299,7 +299,7 @@ func (r *annealRun) ask(sc *Search) ([]Variant, error) {
 		}
 		p := ns[sc.Rand().Intn(len(ns))]
 		r.proposed[i] = p
-		key := sc.Space().Key(p)
+		key := sc.Space().Index(p)
 		if !seen[key] {
 			seen[key] = true
 			wave = append(wave, p)
@@ -323,7 +323,7 @@ func (r *annealRun) tell(sc *Search, wave []Outcome) (int, error) {
 	}
 	for i, p := range r.proposed {
 		cur := r.current[i]
-		if sc.Space().Key(p) == sc.Space().Key(cur) {
+		if sc.Space().Index(p) == sc.Space().Index(cur) {
 			continue
 		}
 		if r.accept(sc, searchScore(sc.Lookup(cur)), searchScore(sc.Lookup(p))) {

@@ -1,0 +1,45 @@
+package dse
+
+import "sync/atomic"
+
+// cellShardBits sizes the cell table's shards: 512 cells per shard
+// keeps a sparse search over a huge space from allocating memo slots
+// for points it never visits, while an exhaustive sweep touches each
+// shard's allocation exactly once per 512 points.
+const cellShardBits = 9
+
+// cellShard is one dense block of memo cells, allocated as a unit.
+type cellShard [1 << cellShardBits]onceCell[*Point]
+
+// cellTable is the engine's per-variant memo: a dense table over the
+// space's Index range, sharded so shards materialise lazily under a
+// single CAS. Compared to the former sync.Map of string-keyed cells,
+// a lookup is two array indexings and one atomic load — no key
+// formatting, no hashing, no per-variant allocation — and the cells
+// of an exhaustive sweep sit contiguously in memory.
+type cellTable struct {
+	shards []atomic.Pointer[cellShard]
+}
+
+func newCellTable(size int) *cellTable {
+	n := (size + len(cellShard{}) - 1) >> cellShardBits
+	return &cellTable{shards: make([]atomic.Pointer[cellShard], n)}
+}
+
+// cell returns the memo slot of dense index i, materialising its shard
+// on first touch. Racing materialisers agree through CompareAndSwap:
+// exactly one shard wins, so a cell's identity is stable for the
+// table's lifetime (the sync.Once inside depends on it).
+func (t *cellTable) cell(i int) *onceCell[*Point] {
+	s := &t.shards[i>>cellShardBits]
+	sh := s.Load()
+	if sh == nil {
+		fresh := new(cellShard)
+		if s.CompareAndSwap(nil, fresh) {
+			sh = fresh
+		} else {
+			sh = s.Load()
+		}
+	}
+	return &sh[i&(len(sh)-1)]
+}

@@ -124,6 +124,7 @@ type deviceEval struct {
 	sm    *simMeasurer // nil under EvalModel
 	w     perf.Workload
 	form  perf.Form
+	emode ModelEvalMode
 
 	evals []onceCell[*modelEval] // one per shelf entry
 }
@@ -200,6 +201,7 @@ func newDeviceEval(mode EvalMode, shelf []*device.Target, build VariantBuilder,
 		mods:  newModuleCache(build),
 		w:     w,
 		form:  form,
+		emode: cfg.ModelEval,
 		evals: make([]onceCell[*modelEval], len(shelf)),
 	}
 	if mode != EvalModel {
@@ -220,7 +222,7 @@ func (de *deviceEval) modelEvalFor(idx int) (*modelEval, error) {
 			cell.err = err
 			return
 		}
-		cell.val = newModelEvalShared(mdl, bw, de.mods, de.w, de.form, de.cache.store)
+		cell.val = newModelEvalShared(mdl, bw, de.mods, de.w, de.form, de.emode, de.cache.store)
 	})
 	return cell.val, cell.err
 }

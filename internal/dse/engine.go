@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/evalstore"
@@ -71,6 +72,50 @@ func (mc *moduleCache) moduleIR(lanes int) (string, error) {
 	return cell.val, cell.err
 }
 
+// ModelEvalMode selects which implementation of the cost model scores
+// variants: the compiled flat estimate program (the default — see
+// costmodel.CompiledModel) or the tree-walk oracle it is pinned
+// bit-identical to. The two produce the same estimates on every input
+// (the differential tests enforce it), so this is a speed knob and a
+// cross-check lever, never a result knob.
+type ModelEvalMode int
+
+const (
+	// ModelEvalCompiled compiles (kernel IR × target) once per lane
+	// count and answers every (lanes, dv) estimate with closed-form
+	// arithmetic.
+	ModelEvalCompiled ModelEvalMode = iota
+	// ModelEvalTree walks the IR per estimate — the original oracle,
+	// kept reachable (tytradse -modeleval=tree) for differential runs.
+	ModelEvalTree
+)
+
+// String names the mode as the -modeleval flag spells it.
+func (m ModelEvalMode) String() string {
+	switch m {
+	case ModelEvalCompiled:
+		return "compiled"
+	case ModelEvalTree:
+		return "tree"
+	}
+	return fmt.Sprintf("modeleval-?(%d)", int(m))
+}
+
+// ModelEvalNames lists the canonical -modeleval flag values.
+func ModelEvalNames() []string { return []string{"compiled", "tree"} }
+
+// ParseModelEval resolves a -modeleval flag value; the empty string
+// selects the compiled default.
+func ParseModelEval(s string) (ModelEvalMode, error) {
+	switch s {
+	case "compiled", "":
+		return ModelEvalCompiled, nil
+	case "tree", "oracle":
+		return ModelEvalTree, nil
+	}
+	return 0, fmt.Errorf("dse: unknown model evaluation mode %q (have: %v)", s, ModelEvalNames())
+}
+
 // modelEval is the memoised core of the cost-model evaluator: module
 // builds per lane count and estimates per (lanes, dv), shared between
 // the standard evaluator and the simulation-backed evaluators (which
@@ -83,29 +128,46 @@ type modelEval struct {
 	w    perf.Workload
 	form perf.Form
 
+	// emode selects the compiled estimate program or the tree-walk
+	// oracle for cold estimates (warm paths — the in-memory memo and
+	// the store — are mode-independent, which the differential tests
+	// rely on).
+	emode ModelEvalMode
+
 	// store is the optional persistent tier: estimates are read through
 	// it (content-keyed by kernel IR, dv and target) and written back on
 	// recompute. nil keeps the evaluator purely in-memory.
 	store *evalstore.Store
-	// estimateFn is a test seam wrapping mdl.EstimateVectorised; the
-	// warm==cold differential tests count recomputations through it.
-	// nil selects the real estimator.
+	// estimateFn is a test seam wrapping the estimator; the warm==cold
+	// differential tests count recomputations through it. nil selects
+	// the estimator emode names.
 	estimateFn func(m *tir.Module, dv int) (*costmodel.Estimate, error)
 
-	ests sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
+	ests     sync.Map // [2]int{lanes, dv} -> *onceCell[*costmodel.Estimate]
+	compiled sync.Map // lanes int -> *onceCell[*costmodel.CompiledModel]
 }
 
 func newModelEval(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
-	w perf.Workload, form perf.Form, store *evalstore.Store) *modelEval {
-	return newModelEvalShared(mdl, bw, newModuleCache(build), w, form, store)
+	w perf.Workload, form perf.Form, emode ModelEvalMode, store *evalstore.Store) *modelEval {
+	return newModelEvalShared(mdl, bw, newModuleCache(build), w, form, emode, store)
 }
 
 // newModelEvalShared wires a modelEval to an externally shared module
 // cache (the per-device evaluators build one modelEval per shelf entry
 // over a single cache).
 func newModelEvalShared(mdl *costmodel.Model, bw *membw.Model, mods *moduleCache,
-	w perf.Workload, form perf.Form, store *evalstore.Store) *modelEval {
-	return &modelEval{mdl: mdl, bw: bw, mods: mods, w: w, form: form, store: store}
+	w perf.Workload, form perf.Form, emode ModelEvalMode, store *evalstore.Store) *modelEval {
+	return &modelEval{mdl: mdl, bw: bw, mods: mods, w: w, form: form, emode: emode, store: store}
+}
+
+// compiledModel compiles the lane count's module against the model
+// exactly once; every dv of the lane count evaluates the same flat
+// program.
+func (me *modelEval) compiledModel(lanes int, m *tir.Module) (*costmodel.CompiledModel, error) {
+	c, _ := me.compiled.LoadOrStore(lanes, &onceCell[*costmodel.CompiledModel]{})
+	cell := c.(*onceCell[*costmodel.CompiledModel])
+	cell.once.Do(func() { cell.val, cell.err = me.mdl.Compile(m) })
+	return cell.val, cell.err
 }
 
 // module builds the lanes-axis variant once per lane count.
@@ -142,7 +204,17 @@ func (me *modelEval) estimate(lanes, dv int) (*costmodel.Estimate, error) {
 		}
 		estimate := me.estimateFn
 		if estimate == nil {
-			estimate = me.mdl.EstimateVectorised
+			if me.emode == ModelEvalTree {
+				estimate = me.mdl.EstimateVectorised
+			} else {
+				estimate = func(m *tir.Module, dv int) (*costmodel.Estimate, error) {
+					cm, err := me.compiledModel(lanes, m)
+					if err != nil {
+						return nil, err
+					}
+					return cm.EstimateVectorised(dv)
+				}
+			}
 		}
 		cell.val, cell.err = estimate(m, dv)
 		if cell.err != nil {
@@ -215,10 +287,20 @@ func NewEvaluator(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 // NewEvaluatorStore is NewEvaluator with an optional persistent
 // evaluation store: estimates are answered from their content-addressed
 // records when present and written back when recomputed. A nil store is
-// the plain in-memory evaluator.
+// the plain in-memory evaluator. Estimates come from the compiled
+// estimate program; NewEvaluatorMode selects the tree-walk oracle.
 func NewEvaluatorStore(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
 	w perf.Workload, form perf.Form, store *evalstore.Store) Evaluator {
-	me := newModelEval(mdl, bw, build, w, form, store)
+	return NewEvaluatorMode(mdl, bw, build, w, form, ModelEvalCompiled, store)
+}
+
+// NewEvaluatorMode is NewEvaluatorStore with an explicit model
+// evaluation mode: the compiled flat program (the default elsewhere)
+// or the tree-walk oracle, which stays reachable for differential
+// cross-checks (tytradse -modeleval=tree).
+func NewEvaluatorMode(mdl *costmodel.Model, bw *membw.Model, build VariantBuilder,
+	w perf.Workload, form perf.Form, emode ModelEvalMode, store *evalstore.Store) Evaluator {
+	me := newModelEval(mdl, bw, build, w, form, emode, store)
 	return func(s *Space, v Variant) (*Point, error) {
 		if err := s.checkAxes("the standard evaluator",
 			AxisLanes, AxisDV, AxisForm, AxisFclk); err != nil {
@@ -273,7 +355,13 @@ type Engine struct {
 	// Workers is the evaluation parallelism (the -j of cmd/tytradse).
 	Workers int
 
-	cache sync.Map // variant key -> *onceCell[*Point]
+	// cells is the per-variant memo: a sharded dense table over the
+	// space's Index range, built lazily so the zero-value Engine still
+	// works. String keys (Space.Key) are no longer touched per
+	// evaluation — they remain the cross-run identity for reports and
+	// the evalstore.
+	cellsOnce sync.Once
+	cells     *cellTable
 }
 
 // NewEngine builds an engine; workers <= 0 selects GOMAXPROCS.
@@ -284,10 +372,16 @@ func NewEngine(space *Space, eval Evaluator, workers int) *Engine {
 	return &Engine{Space: space, Eval: eval, Workers: workers}
 }
 
+// table returns the engine's cell table, sized to the space on first
+// use.
+func (e *Engine) table() *cellTable {
+	e.cellsOnce.Do(func() { e.cells = newCellTable(e.Space.Size()) })
+	return e.cells
+}
+
 // evalOne evaluates a single variant through the memo cache.
 func (e *Engine) evalOne(v Variant) (*Point, error) {
-	c, _ := e.cache.LoadOrStore(e.Space.Key(v), &onceCell[*Point]{})
-	cell := c.(*onceCell[*Point])
+	cell := e.table().cell(e.Space.Index(v))
 	cell.once.Do(func() { cell.val, cell.err = e.Eval(e.Space, v) })
 	return cell.val, cell.err
 }
@@ -322,21 +416,40 @@ func (e *Engine) evalAllKeep(vs []Variant) ([]*Point, []error) {
 			points[i], errs[i] = e.evalOne(v)
 		}
 	} else {
-		idx := make(chan int)
+		// Workers claim chunked index ranges off one atomic counter —
+		// one contended add per chunk instead of one channel send per
+		// variant, which at compiled-model evaluation speeds would
+		// otherwise dominate the wall clock. Results land at their input
+		// index, so output order is deterministic regardless of which
+		// worker claims which chunk.
+		chunk := len(vs) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 256 {
+			chunk = 256
+		}
+		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range idx {
-					points[i], errs[i] = e.evalOne(vs[i])
+				for {
+					hi := int(next.Add(int64(chunk)))
+					lo := hi - chunk
+					if lo >= len(vs) {
+						return
+					}
+					if hi > len(vs) {
+						hi = len(vs)
+					}
+					for i := lo; i < hi; i++ {
+						points[i], errs[i] = e.evalOne(vs[i])
+					}
 				}
 			}()
 		}
-		for i := range vs {
-			idx <- i
-		}
-		close(idx)
 		wg.Wait()
 	}
 	return points, errs

@@ -28,7 +28,7 @@ type counters struct {
 // holds for the production assembly, not a test double.
 func instrumentedEval(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 	store *evalstore.Store, c *counters) Evaluator {
-	me := newModelEval(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB, store)
+	me := newModelEval(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB, ModelEvalCompiled, store)
 	me.estimateFn = func(m *tir.Module, dv int) (*costmodel.Estimate, error) {
 		c.estimates.Add(1)
 		return mdl.EstimateVectorised(m, dv)
@@ -306,7 +306,7 @@ func TestCustomInputsBypassStore(t *testing.T) {
 			t.Fatal(err)
 		}
 		var n atomic.Int64
-		me := newModelEval(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB, s)
+		me := newModelEval(mdl, bw, sorBuilder, perf.Workload{NKI: 10}, perf.FormB, ModelEvalCompiled, s)
 		cfg := SimConfig{Inputs: func(m *tir.Module, seed int64) (map[string][]int64, error) {
 			n.Add(1)
 			return SimInputs(m, seed)

@@ -77,7 +77,7 @@ type Search struct {
 	budget  Budget
 	seed    int64
 
-	seen  map[string]*Outcome // settled outcome per charged variant key
+	seen  map[int]*Outcome // settled outcome per charged variant Index
 	evals int
 	// barren counts charged evaluations since the kept best improved.
 	barren int
@@ -86,7 +86,7 @@ type Search struct {
 	// in tell order. This becomes Result.Variants/Points.
 	vs      []Variant
 	ps      []*Point
-	kept    map[string]bool
+	kept    map[int]bool
 	best    *Point
 	waves   int
 	samples []TrajectorySample
@@ -122,7 +122,7 @@ func (sc *Search) Remaining() int {
 // evaluated, letting a strategy read back any point it proposed
 // without re-asking for it.
 func (sc *Search) Lookup(v Variant) (Outcome, bool) {
-	o, ok := sc.seen[sc.space.Key(v)]
+	o, ok := sc.seen[sc.space.Index(v)]
 	if !ok {
 		return Outcome{}, false
 	}
@@ -137,9 +137,9 @@ func (sc *Search) truncate(wave []Variant) (cut []Variant, truncated bool) {
 		return wave, false
 	}
 	left := sc.budget.MaxEvals - sc.evals
-	fresh := map[string]bool{}
+	fresh := map[int]bool{}
 	for i, v := range wave {
-		key := sc.space.Key(v)
+		key := sc.space.Index(v)
 		if sc.seen[key] != nil || fresh[key] {
 			continue
 		}
@@ -160,7 +160,7 @@ func (e *Engine) evalWave(sc *Search, wave []Variant) []Outcome {
 	outs := make([]Outcome, len(wave))
 	for i, v := range wave {
 		outs[i] = Outcome{Variant: v, Point: ps[i], Err: errs[i]}
-		key := sc.space.Key(v)
+		key := sc.space.Index(v)
 		if sc.seen[key] != nil {
 			continue
 		}
@@ -179,7 +179,7 @@ func (sc *Search) commit(outs []Outcome) {
 		if o.Err != nil || o.Point == nil {
 			continue
 		}
-		key := sc.space.Key(o.Variant)
+		key := sc.space.Index(o.Variant)
 		if sc.kept[key] {
 			continue
 		}
@@ -224,8 +224,8 @@ func (e *Engine) Search(st Strategy, opts SearchOptions) (*Result, error) {
 		rng:     rand.New(rand.NewSource(seed)),
 		budget:  opts.Budget,
 		seed:    seed,
-		seen:    map[string]*Outcome{},
-		kept:    map[string]bool{},
+		seen:    map[int]*Outcome{},
+		kept:    map[int]bool{},
 	}
 	run, err := st.start(sc)
 	if err != nil {

@@ -85,6 +85,12 @@ type SimConfig struct {
 	// bit-exact against each other — so this is a speed knob, not a
 	// result knob.
 	Exec pipesim.Config
+	// ModelEval selects the cost-model implementation every evaluator's
+	// model half runs on: the compiled flat estimate program (zero
+	// value) or the tree-walk oracle (the -modeleval flag of
+	// cmd/tytradse). Like Exec, a speed knob, never a result knob — the
+	// two are pinned bit-identical.
+	ModelEval ModelEvalMode
 }
 
 // withDefaults resolves the zero values.
@@ -285,7 +291,7 @@ func NewModeEvaluatorStore(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 	store *evalstore.Store) (Evaluator, error) {
 	switch mode {
 	case EvalModel:
-		return NewEvaluatorStore(mdl, bw, build, w, form, store), nil
+		return NewEvaluatorMode(mdl, bw, build, w, form, cfg.ModelEval, store), nil
 	case EvalSim, EvalHybrid:
 		return newSimBacked(mode, mdl, bw, build, w, form, cfg, store), nil
 	}
@@ -295,7 +301,7 @@ func NewModeEvaluatorStore(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 func newSimBacked(mode EvalMode, mdl *costmodel.Model, bw *membw.Model,
 	build VariantBuilder, w perf.Workload, form perf.Form, cfg SimConfig,
 	store *evalstore.Store) Evaluator {
-	me := newModelEval(mdl, bw, build, w, form, store)
+	me := newModelEval(mdl, bw, build, w, form, cfg.ModelEval, store)
 	sv := &simBacked{mode: mode, me: me, sm: newSimMeasurer(me.mods, cfg, store)}
 	return sv.eval
 }

@@ -91,6 +91,11 @@ func DeviceAxis(shelf ...*device.Target) Axis {
 type Space struct {
 	axes  []Axis
 	index map[string]int
+	// strides are the row-major mixed-radix weights of each axis (first
+	// axis slowest, matching Enumerate), precomputed so Index and
+	// VariantAt are a handful of integer operations.
+	strides []int
+	size    int
 }
 
 // NewSpace builds a space from the given axes. Every axis must be
@@ -133,6 +138,12 @@ func NewSpace(axes ...Axis) (*Space, error) {
 		}
 		s.axes = append(s.axes, Axis{Name: a.Name, Values: vals, Labels: labels})
 	}
+	s.strides = make([]int, len(s.axes))
+	s.size = 1
+	for ai := len(s.axes) - 1; ai >= 0; ai-- {
+		s.strides[ai] = s.size
+		s.size *= len(s.axes[ai].Values)
+	}
 	return s, nil
 }
 
@@ -165,12 +176,32 @@ func (s *Space) AxisIndex(name string) (int, bool) {
 }
 
 // Size is the number of points in the space.
-func (s *Space) Size() int {
-	n := 1
-	for _, a := range s.axes {
-		n *= len(a.Values)
+func (s *Space) Size() int { return s.size }
+
+// Index is the dense integer key of a variant: its position in
+// Enumerate order, in [0, Size). It is the canonical per-run identity
+// of a point — the engine's cell table, the search dedup sets and
+// WallPruned's grouping all key on it — while the string Key stays the
+// canonical cross-run identity for reports and the evalstore.
+func (s *Space) Index(v Variant) int {
+	i := 0
+	for ai, idx := range v {
+		i += idx * s.strides[ai]
 	}
-	return n
+	return i
+}
+
+// VariantAt is the inverse of Index: the variant at position i of the
+// Enumerate order. It allocates the returned Variant; iteration-heavy
+// callers can decompose into a caller-owned slice via Enumerate
+// instead.
+func (s *Space) VariantAt(i int) Variant {
+	v := make(Variant, len(s.axes))
+	for ai := range s.axes {
+		v[ai] = i / s.strides[ai]
+		i -= v[ai] * s.strides[ai]
+	}
+	return v
 }
 
 // Variant identifies one point of a Space: the value index chosen

@@ -322,32 +322,19 @@ func (r *wallPrunedRun) finish(sc *Search, res *Result) error { return nil }
 
 // groupVariants partitions the enumeration into per-group lane sweeps:
 // one group per combination of the non-lanes axes, in enumeration
-// order. Groups key on the variant's mixed-radix coordinate over the
-// non-lanes axes — a single comparable int — rather than a formatted
-// string (see BenchmarkWallPrunedGrouping for the cost difference).
-// Enumeration is row-major, so within a group the lanes-axis index is
-// already ascending and pruning can walk the axis bottom-up without a
-// sort.
+// order. Groups key on the canonical Space.Index with the lanes-axis
+// contribution zeroed out — the dense coordinate over the remaining
+// axes, a single comparable int (see BenchmarkWallPrunedGrouping for
+// the cost against formatted-string keys). Enumeration is row-major,
+// so within a group the lanes-axis index is already ascending and
+// pruning can walk the axis bottom-up without a sort.
 func groupVariants(s *Space, li int) [][]Variant {
-	axes := s.Axes()
-	strides := make([]int, len(axes))
-	stride := 1
-	for ai := len(axes) - 1; ai >= 0; ai-- {
-		if ai == li {
-			continue
-		}
-		strides[ai] = stride
-		stride *= len(axes[ai].Values)
-	}
-	byKey := make(map[int]int, stride)
-	groups := make([][]Variant, 0, stride)
+	laneStride := s.strides[li]
+	nGroups := s.Size() / len(s.Axes()[li].Values)
+	byKey := make(map[int]int, nGroups)
+	groups := make([][]Variant, 0, nGroups)
 	for _, v := range s.Enumerate() {
-		key := 0
-		for ai, idx := range v {
-			if ai != li {
-				key += idx * strides[ai]
-			}
-		}
+		key := s.Index(v) - v[li]*laneStride
 		gi, ok := byKey[key]
 		if !ok {
 			gi = len(groups)

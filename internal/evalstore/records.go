@@ -21,9 +21,12 @@ const (
 	KindModels    = "models"
 	ModelsVersion = 1
 	// KindEstimate archives one costmodel.EstimateVectorised outcome
-	// per (kernel IR, dv, target).
+	// per (kernel IR, dv, target). v2: the per-function resource map
+	// left the Estimate (and with it the payload) when the compiled
+	// estimate program landed — v1 records hash to different keys and
+	// are simply recomputed.
 	KindEstimate    = "estimate"
-	EstimateVersion = 1
+	EstimateVersion = 2
 	// KindCycles archives one simulator measurement per (kernel IR,
 	// measurement workload).
 	KindCycles    = "simcycles"
@@ -97,16 +100,15 @@ func LoadModels(s *Store, t *device.Target) (*costmodel.Model, *membw.Model, boo
 // pointers, which the loader rehydrates from context (the key already
 // covers both: the kernel IR and the full target description).
 type estimatePayload struct {
-	Used    device.Resources            `json:"used"`
-	PerFunc map[string]device.Resources `json:"per_func"`
-	KPD     int                         `json:"kpd"`
-	Noff    int64                       `json:"noff"`
-	NI      int                         `json:"ni"`
-	Lanes   int                         `json:"lanes"`
-	DV      int                         `json:"dv"`
-	NTO     int                         `json:"nto"`
-	FmaxHz  float64                     `json:"fmax_hz"`
-	Config  int                         `json:"config"`
+	Used   device.Resources `json:"used"`
+	KPD    int              `json:"kpd"`
+	Noff   int64            `json:"noff"`
+	NI     int              `json:"ni"`
+	Lanes  int              `json:"lanes"`
+	DV     int              `json:"dv"`
+	NTO    int              `json:"nto"`
+	FmaxHz float64          `json:"fmax_hz"`
+	Config int              `json:"config"`
 }
 
 // EstimateKey addresses one vectorised estimate: the kernel IR (which
@@ -118,8 +120,8 @@ func EstimateKey(moduleIR string, dv int, t *device.Target) string {
 // SaveEstimate archives one costed variant.
 func SaveEstimate(s *Store, key string, est *costmodel.Estimate) error {
 	payload, err := json.Marshal(estimatePayload{
-		Used: est.Used, PerFunc: est.PerFunc,
-		KPD: est.KPD, Noff: est.Noff, NI: est.NI,
+		Used: est.Used,
+		KPD:  est.KPD, Noff: est.Noff, NI: est.NI,
 		Lanes: est.Lanes, DV: est.DV, NTO: est.NTO,
 		FmaxHz: est.FmaxHz, Config: int(est.Config),
 	})
@@ -145,13 +147,10 @@ func LoadEstimate(s *Store, key string, m *tir.Module, t *device.Target) (*costm
 	if p.Lanes < 1 || p.DV < 1 || p.NTO < 1 || p.FmaxHz <= 0 || p.KPD < 0 || p.Noff < 0 || p.NI < 0 {
 		return nil, false
 	}
-	if p.PerFunc == nil {
-		p.PerFunc = map[string]device.Resources{}
-	}
 	return &costmodel.Estimate{
 		Module: m, Target: t,
-		Used: p.Used, PerFunc: p.PerFunc,
-		KPD: p.KPD, Noff: p.Noff, NI: p.NI,
+		Used: p.Used,
+		KPD:  p.KPD, Noff: p.Noff, NI: p.NI,
 		Lanes: p.Lanes, DV: p.DV, NTO: p.NTO,
 		FmaxHz: p.FmaxHz, Config: tir.Config(p.Config),
 	}, true

@@ -87,3 +87,37 @@ func TestConcurrentThroughputSmoke(t *testing.T) {
 		t.Errorf("shared-design throughput did not scale: %.0f ops/s at -j4 vs %.0f ops/s at -j1", j4, j1)
 	}
 }
+
+// TestDSEModelBenchSmoke regenerates the BENCH_DSE_MODEL measurements
+// at a short budget and fails if the compiled cost model loses its
+// headline margins: >=5x over the tree-walk oracle per corpus kernel
+// and <=2 steady-state allocations per variant. The committed margins
+// are two orders of magnitude, so the gate only trips on a real
+// regression (e.g. the compiled path silently falling back to the
+// tree), not on CI noise.
+func TestDSEModelBenchSmoke(t *testing.T) {
+	if !*benchSmoke {
+		t.Skip("timing smoke; enable with -experiments.benchsmoke")
+	}
+	r, err := DSEModelBench(20 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Speedup < 5 {
+			t.Errorf("%s: compiled estimate only %.1fx over the tree oracle (%d ns vs %d ns)",
+				row.Kernel, row.Speedup, row.WarmNsOp, row.TreeNsOp)
+		}
+		if row.AllocsPerVariant > 2 {
+			t.Errorf("%s: %.1f allocs per compiled estimate, cap is 2", row.Kernel, row.AllocsPerVariant)
+		}
+	}
+	if len(r.Engine) == 0 {
+		t.Error("no engine sweep rows")
+	}
+	for _, row := range r.Engine {
+		if row.Points < 100000 {
+			t.Errorf("j%d: synthetic space has %d points, want >= 100000", row.Workers, row.Points)
+		}
+	}
+}
